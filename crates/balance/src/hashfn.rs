@@ -1,0 +1,253 @@
+//! Hash functions routing items through the candidate hash tree (§4.1).
+//!
+//! The unoptimized tree uses the *interleaved* `g(i) = i mod H` function
+//! ([`ModHash`]). The paper's balanced alternative maps items to the cells
+//! produced by bitonic partitioning, either via the closed form of Theorem 1
+//! ([`BitonicHash`]) or via an explicit indirection vector built from the
+//! frequent-item workloads ([`IndirectionHash`], Table 1 of the paper).
+
+use crate::partition::{bitonic_assignment, triangular_weights};
+
+/// An item-to-cell hash used at every level of the hash tree.
+pub trait HashFn: Sync + Send {
+    /// Hash `item` into `0..fanout()`.
+    fn hash(&self, item: u32) -> u32;
+    /// The fan-out `H` of the hash tables this function feeds.
+    fn fanout(&self) -> u32;
+}
+
+/// The naive interleaved hash `g(i) = i mod H`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModHash {
+    h: u32,
+}
+
+impl ModHash {
+    /// Creates a mod-hash with fan-out `h` (must be non-zero).
+    pub fn new(h: u32) -> Self {
+        assert!(h > 0, "fan-out must be positive");
+        ModHash { h }
+    }
+}
+
+impl HashFn for ModHash {
+    #[inline(always)]
+    fn hash(&self, item: u32) -> u32 {
+        item % self.h
+    }
+
+    #[inline]
+    fn fanout(&self) -> u32 {
+        self.h
+    }
+}
+
+/// The closed-form bitonic hash of Theorem 1:
+/// `h(i) = i mod H` when `(i mod 2H) < H`, else `2H - 1 - (i mod 2H)`.
+///
+/// Consecutive items sweep the cells up then down (0,1,..,H-1,H-1,..,1,0),
+/// so any window of `2H` consecutive items loads every cell exactly twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitonicHash {
+    h: u32,
+}
+
+impl BitonicHash {
+    /// Creates a bitonic hash with fan-out `h` (must be non-zero).
+    pub fn new(h: u32) -> Self {
+        assert!(h > 0, "fan-out must be positive");
+        BitonicHash { h }
+    }
+}
+
+impl HashFn for BitonicHash {
+    #[inline(always)]
+    fn hash(&self, item: u32) -> u32 {
+        let m = item % (2 * self.h);
+        if m < self.h {
+            m
+        } else {
+            2 * self.h - 1 - m
+        }
+    }
+
+    #[inline]
+    fn fanout(&self) -> u32 {
+        self.h
+    }
+}
+
+/// A fully materialized item → cell table (the paper's indirection vector,
+/// Table 1). Built from the actual frequent items so that the *workload*
+/// (triangular join counts), not just the item labels, is balanced across
+/// cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndirectionHash {
+    table: Vec<u32>,
+    h: u32,
+}
+
+impl IndirectionHash {
+    /// Builds the indirection vector for the given sorted list of frequent
+    /// items. Frequent item with lexicographic rank `r` carries triangular
+    /// weight `n - r - 1` and is assigned its cell by bitonic partitioning;
+    /// items that are not frequent are routed by the closed-form bitonic
+    /// hash of their raw id (they reach the tree only through transactions
+    /// and never match a candidate, so any fixed cell works).
+    pub fn for_frequent_items(frequent: &[u32], n_items: u32, h: u32) -> Self {
+        assert!(h > 0, "fan-out must be positive");
+        debug_assert!(frequent.windows(2).all(|w| w[0] < w[1]));
+        let fallback = BitonicHash::new(h);
+        let mut table: Vec<u32> = (0..n_items).map(|i| fallback.hash(i)).collect();
+        let weights = triangular_weights(frequent.len());
+        let assignment = bitonic_assignment(&weights, h as usize);
+        for (cell, bin) in assignment.bins.iter().enumerate() {
+            for &rank in bin {
+                table[frequent[rank] as usize] = cell as u32;
+            }
+        }
+        IndirectionHash { table, h }
+    }
+
+    /// Builds an indirection table directly from per-item cell values
+    /// (useful for tests and custom policies).
+    pub fn from_table(table: Vec<u32>, h: u32) -> Self {
+        assert!(h > 0, "fan-out must be positive");
+        assert!(table.iter().all(|&c| c < h), "cell out of range");
+        IndirectionHash { table, h }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &[u32] {
+        &self.table
+    }
+}
+
+impl HashFn for IndirectionHash {
+    #[inline(always)]
+    fn hash(&self, item: u32) -> u32 {
+        self.table[item as usize]
+    }
+
+    #[inline]
+    fn fanout(&self) -> u32 {
+        self.h
+    }
+}
+
+/// A boxed hash function choice, used where the variant is configured at
+/// run time (the mining drivers).
+pub enum AnyHash {
+    /// Interleaved `i mod H`.
+    Mod(ModHash),
+    /// Closed-form bitonic.
+    Bitonic(BitonicHash),
+    /// Indirection vector over frequent items.
+    Indirection(IndirectionHash),
+}
+
+impl HashFn for AnyHash {
+    #[inline(always)]
+    fn hash(&self, item: u32) -> u32 {
+        match self {
+            AnyHash::Mod(f) => f.hash(item),
+            AnyHash::Bitonic(f) => f.hash(item),
+            AnyHash::Indirection(f) => f.hash(item),
+        }
+    }
+
+    #[inline]
+    fn fanout(&self) -> u32 {
+        match self {
+            AnyHash::Mod(f) => f.fanout(),
+            AnyHash::Bitonic(f) => f.fanout(),
+            AnyHash::Indirection(f) => f.fanout(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_hash_basic() {
+        let f = ModHash::new(3);
+        assert_eq!(
+            (0..7).map(|i| f.hash(i)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2, 0]
+        );
+        assert_eq!(f.fanout(), 3);
+    }
+
+    #[test]
+    fn bitonic_hash_sweeps_up_then_down() {
+        let f = BitonicHash::new(3);
+        // 0,1,2,2,1,0 repeating.
+        assert_eq!(
+            (0..12).map(|i| f.hash(i)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 2, 1, 0, 0, 1, 2, 2, 1, 0]
+        );
+    }
+
+    #[test]
+    fn bitonic_window_loads_each_cell_twice() {
+        for h in [2u32, 3, 4, 8] {
+            let f = BitonicHash::new(h);
+            let mut counts = vec![0u32; h as usize];
+            for i in 0..2 * h {
+                counts[f.hash(i) as usize] += 1;
+            }
+            assert!(counts.iter().all(|&c| c == 2), "h={h} counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn indirection_matches_paper_table_1() {
+        // F1 = 10 items (labels 0..9), H = 3 → Table 1:
+        // hash values 0 1 2 2 1 0 0 1 2 2.
+        let frequent: Vec<u32> = (0..10).collect();
+        let f = IndirectionHash::for_frequent_items(&frequent, 10, 3);
+        assert_eq!(f.table(), &[0, 1, 2, 2, 1, 0, 0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn indirection_uses_frequent_ranks_not_ids() {
+        // Same Table-1 shape but with sparse item ids (the paper's
+        // {A,D,E,G,K,M,N,S,T,Z} example).
+        let frequent = vec![5u32, 11, 12, 20, 30, 31, 40, 47, 90, 99];
+        let f = IndirectionHash::for_frequent_items(&frequent, 100, 3);
+        let cells: Vec<u32> = frequent.iter().map(|&i| f.hash(i)).collect();
+        assert_eq!(cells, vec![0, 1, 2, 2, 1, 0, 0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn indirection_covers_infrequent_items() {
+        let f = IndirectionHash::for_frequent_items(&[2, 4], 8, 2);
+        for i in 0..8 {
+            assert!(f.hash(i) < 2);
+        }
+    }
+
+    #[test]
+    fn from_table_validates_range() {
+        let f = IndirectionHash::from_table(vec![0, 1, 1, 0], 2);
+        assert_eq!(f.hash(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell out of range")]
+    fn from_table_rejects_bad_cell() {
+        IndirectionHash::from_table(vec![0, 5], 2);
+    }
+
+    #[test]
+    fn any_hash_dispatches() {
+        let m = AnyHash::Mod(ModHash::new(4));
+        let b = AnyHash::Bitonic(BitonicHash::new(4));
+        assert_eq!(m.hash(7), 3);
+        assert_eq!(b.hash(7), 0);
+        assert_eq!(m.fanout(), 4);
+        assert_eq!(b.fanout(), 4);
+    }
+}

@@ -1,0 +1,25 @@
+//! Computation balancing and balanced hash functions (§3.1.2, §4.1).
+//!
+//! Two load-balancing problems in the paper share one mechanism:
+//!
+//! 1. **Computation balancing** — partitioning the candidate-generation
+//!    work (itemsets within equivalence classes, with triangular workloads
+//!    `w_i = n - i - 1`) across `P` processors;
+//! 2. **Hash tree balancing** — partitioning items across the `H` cells of
+//!    each hash-table level so leaves fill evenly.
+//!
+//! Both are solved by the *bitonic* partitioning scheme ([`partition`]),
+//! which pairs itemset `i` with itemset `2P - i - 1` so each pair carries
+//! constant work. For the tree, "processors" become hash cells and the
+//! assignment is materialized as an indirection vector ([`hashfn`]).
+//! [`theory`] provides the Theorem 1 leaf-occupancy bounds.
+
+pub mod hashfn;
+pub mod partition;
+pub mod theory;
+
+pub use hashfn::{AnyHash, BitonicHash, HashFn, IndirectionHash, ModHash};
+pub use partition::{
+    bitonic_assignment, block_assignment, greedy_assignment, interleaved_assignment, Assignment,
+    Scheme,
+};

@@ -1,0 +1,330 @@
+//! Partitioning schemes for weighted work items (§3.1.2).
+//!
+//! The running example of the paper: `P = 3`, items `0..10` with triangular
+//! workloads `w_i = n - i - 1` (itemset `i` joins with every later itemset).
+//!
+//! * [`block_assignment`] — contiguous blocks; badly imbalanced (24/15/6);
+//! * [`interleaved_assignment`] — round-robin; better (18/15/12);
+//! * [`bitonic_assignment`] — pairs `i` with `2P - i - 1` so each pair has
+//!   constant weight; near-perfect (16/15/14);
+//! * [`greedy_assignment`] — the multi-equivalence-class generalization:
+//!   sort by weight descending, always give the next item to the least
+//!   loaded processor (LPT scheduling).
+
+/// A partitioning scheme choice, dispatchable at run time (the COMP knob
+/// of Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Contiguous blocks.
+    Block,
+    /// Round-robin.
+    Interleaved,
+    /// Bitonic pairing (single-class closed form + greedy tail).
+    Bitonic,
+    /// Greedy LPT (the multi-class generalization).
+    Greedy,
+}
+
+impl Scheme {
+    /// Distributes `weights` over `parts` bins with this scheme.
+    pub fn assign(self, weights: &[u64], parts: usize) -> Assignment {
+        match self {
+            Scheme::Block => block_assignment(weights, parts),
+            Scheme::Interleaved => interleaved_assignment(weights, parts),
+            Scheme::Bitonic => bitonic_assignment(weights, parts),
+            Scheme::Greedy => greedy_assignment(weights, parts),
+        }
+    }
+
+    /// Display name used by the benchmark harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Block => "block",
+            Scheme::Interleaved => "interleaved",
+            Scheme::Bitonic => "bitonic",
+            Scheme::Greedy => "greedy",
+        }
+    }
+}
+
+/// The result of distributing `n` weighted items over `parts` bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// `bins[p]` lists the item indices assigned to bin `p`.
+    pub bins: Vec<Vec<usize>>,
+    /// `loads[p]` is the total weight assigned to bin `p`.
+    pub loads: Vec<u64>,
+}
+
+impl Assignment {
+    fn new(parts: usize) -> Self {
+        Assignment {
+            bins: vec![Vec::new(); parts],
+            loads: vec![0; parts],
+        }
+    }
+
+    fn push(&mut self, bin: usize, item: usize, weight: u64) {
+        self.bins[bin].push(item);
+        self.loads[bin] += weight;
+    }
+
+    /// Largest bin load.
+    pub fn max_load(&self) -> u64 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Smallest bin load.
+    pub fn min_load(&self) -> u64 {
+        self.loads.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Load imbalance `max / mean` (1.0 = perfect). Returns 1.0 for zero
+    /// total weight.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.loads.iter().sum();
+        if total == 0 || self.loads.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.loads.len() as f64;
+        self.max_load() as f64 / mean
+    }
+
+    /// Inverse map: `owner[i] = bin holding item i`.
+    pub fn owners(&self, n: usize) -> Vec<u32> {
+        let mut owner = vec![u32::MAX; n];
+        for (p, bin) in self.bins.iter().enumerate() {
+            for &i in bin {
+                owner[i] = p as u32;
+            }
+        }
+        owner
+    }
+}
+
+/// The triangular workload of candidate generation within one equivalence
+/// class of `n` members: member `i` pairs with all later members.
+pub fn triangular_weights(n: usize) -> Vec<u64> {
+    (0..n).map(|i| (n - i - 1) as u64).collect()
+}
+
+/// Contiguous block partitioning (the paper's strawman).
+pub fn block_assignment(weights: &[u64], parts: usize) -> Assignment {
+    let mut a = Assignment::new(parts);
+    if parts == 0 {
+        return a;
+    }
+    let n = weights.len();
+    let base = n / parts;
+    let rem = n % parts;
+    let mut i = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p >= parts - rem);
+        for _ in 0..len {
+            a.push(p, i, weights[i]);
+            i += 1;
+        }
+    }
+    a
+}
+
+/// Round-robin partitioning: item `i` goes to bin `i mod P`.
+pub fn interleaved_assignment(weights: &[u64], parts: usize) -> Assignment {
+    let mut a = Assignment::new(parts);
+    if parts == 0 {
+        return a;
+    }
+    for (i, &w) in weights.iter().enumerate() {
+        a.push(i % parts, i, w);
+    }
+    a
+}
+
+/// Bitonic partitioning for a single class of *triangular* weights
+/// (§3.1.2): within each window of `2P` consecutive items, item `j` and
+/// item `2P - j - 1` form a constant-weight pair assigned to bin `j`.
+/// Leftover items (`n mod 2P != 0`) fall back to the greedy rule, matching
+/// the paper's reference to Cierniak et al. (1997).
+pub fn bitonic_assignment(weights: &[u64], parts: usize) -> Assignment {
+    let mut a = Assignment::new(parts);
+    if parts == 0 {
+        return a;
+    }
+    let n = weights.len();
+    let window = 2 * parts;
+    let full = (n / window) * window;
+    for (i, &w) in weights.iter().enumerate().take(full) {
+        let j = i % window;
+        let bin = if j < parts { j } else { window - j - 1 };
+        a.push(bin, i, w);
+    }
+    // Tail: greedy (largest remaining weight to least-loaded bin).
+    let mut tail: Vec<usize> = (full..n).collect();
+    tail.sort_by(|&x, &y| weights[y].cmp(&weights[x]).then(x.cmp(&y)));
+    for i in tail {
+        let bin = least_loaded(&a.loads);
+        a.push(bin, i, weights[i]);
+    }
+    for bin in &mut a.bins {
+        bin.sort_unstable();
+    }
+    a
+}
+
+/// Greedy LPT scheduling: repeatedly assign the heaviest unassigned item to
+/// the least-loaded bin. This is the paper's generalization of bitonic
+/// partitioning to multiple equivalence classes with arbitrary weights.
+pub fn greedy_assignment(weights: &[u64], parts: usize) -> Assignment {
+    let mut a = Assignment::new(parts);
+    if parts == 0 {
+        return a;
+    }
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&x, &y| weights[y].cmp(&weights[x]).then(x.cmp(&y)));
+    for i in order {
+        let bin = least_loaded(&a.loads);
+        a.push(bin, i, weights[i]);
+    }
+    for bin in &mut a.bins {
+        bin.sort_unstable();
+    }
+    a
+}
+
+fn least_loaded(loads: &[u64]) -> usize {
+    let mut best = 0;
+    for (p, &l) in loads.iter().enumerate() {
+        if l < loads[best] {
+            best = p;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's worked example: n = 10, P = 3, triangular weights.
+    fn paper_weights() -> Vec<u64> {
+        triangular_weights(10)
+    }
+
+    #[test]
+    fn triangular_weights_shape() {
+        assert_eq!(triangular_weights(4), vec![3, 2, 1, 0]);
+        assert!(triangular_weights(0).is_empty());
+    }
+
+    #[test]
+    fn block_matches_paper() {
+        // A0={0,1,2} W=24, A1={3,4,5} W=15, A2={6,7,8,9} W=6.
+        let a = block_assignment(&paper_weights(), 3);
+        assert_eq!(a.bins[0], vec![0, 1, 2]);
+        assert_eq!(a.bins[1], vec![3, 4, 5]);
+        assert_eq!(a.bins[2], vec![6, 7, 8, 9]);
+        assert_eq!(a.loads, vec![24, 15, 6]);
+    }
+
+    #[test]
+    fn interleaved_matches_paper() {
+        // A0={0,3,6,9} W=18, A1={1,4,7} W=15, A2={2,5,8} W=12.
+        let a = interleaved_assignment(&paper_weights(), 3);
+        assert_eq!(a.bins[0], vec![0, 3, 6, 9]);
+        assert_eq!(a.bins[1], vec![1, 4, 7]);
+        assert_eq!(a.bins[2], vec![2, 5, 8]);
+        assert_eq!(a.loads, vec![18, 15, 12]);
+    }
+
+    #[test]
+    fn bitonic_matches_paper() {
+        // A0={0,5,6} W=16, A1={1,4,7} W=15, A2={2,3,8,9} W=14.
+        let a = bitonic_assignment(&paper_weights(), 3);
+        assert_eq!(a.bins[0], vec![0, 5, 6]);
+        assert_eq!(a.bins[1], vec![1, 4, 7]);
+        assert_eq!(a.bins[2], vec![2, 3, 8, 9]);
+        assert_eq!(a.loads, vec![16, 15, 14]);
+    }
+
+    #[test]
+    fn bitonic_perfect_when_divisible() {
+        // n = 12 = 2P*2 with P = 3: perfectly balanced.
+        let w = triangular_weights(12);
+        let a = bitonic_assignment(&w, 3);
+        assert_eq!(a.max_load(), a.min_load());
+    }
+
+    #[test]
+    fn ordering_of_schemes_on_paper_example() {
+        let w = paper_weights();
+        let block = block_assignment(&w, 3).imbalance();
+        let inter = interleaved_assignment(&w, 3).imbalance();
+        let bitonic = bitonic_assignment(&w, 3).imbalance();
+        assert!(block > inter, "block {block} vs interleaved {inter}");
+        assert!(inter > bitonic, "interleaved {inter} vs bitonic {bitonic}");
+    }
+
+    #[test]
+    fn greedy_handles_arbitrary_weights() {
+        let w = vec![100, 1, 1, 1, 1, 96, 3];
+        let a = greedy_assignment(&w, 2);
+        // LPT: 100 -> b0; 96 -> b1; 3 -> b1 (99); 1 -> b1 (100); 1 -> b0...
+        let total: u64 = w.iter().sum();
+        assert_eq!(a.loads.iter().sum::<u64>(), total);
+        assert!(a.max_load() - a.min_load() <= 3, "loads {:?}", a.loads);
+    }
+
+    #[test]
+    fn all_schemes_partition_every_item() {
+        let w = triangular_weights(23);
+        for a in [
+            block_assignment(&w, 4),
+            interleaved_assignment(&w, 4),
+            bitonic_assignment(&w, 4),
+            greedy_assignment(&w, 4),
+        ] {
+            let mut all: Vec<usize> = a.bins.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..23).collect::<Vec<_>>());
+            let loads_ok = a
+                .bins
+                .iter()
+                .zip(&a.loads)
+                .all(|(bin, &l)| bin.iter().map(|&i| w[i]).sum::<u64>() == l);
+            assert!(loads_ok);
+        }
+    }
+
+    #[test]
+    fn owners_inverse_map() {
+        let w = triangular_weights(6);
+        let a = bitonic_assignment(&w, 3);
+        let owners = a.owners(6);
+        for (p, bin) in a.bins.iter().enumerate() {
+            for &i in bin {
+                assert_eq!(owners[i], p as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_parts_yields_empty() {
+        let a = bitonic_assignment(&[1, 2, 3], 0);
+        assert!(a.bins.is_empty());
+        assert_eq!(a.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn single_part_takes_everything() {
+        let w = vec![5, 6, 7];
+        for a in [
+            block_assignment(&w, 1),
+            interleaved_assignment(&w, 1),
+            bitonic_assignment(&w, 1),
+            greedy_assignment(&w, 1),
+        ] {
+            assert_eq!(a.loads, vec![18]);
+            assert_eq!(a.bins[0].len(), 3);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Analytical results behind hash tree balancing (Theorem 1, §4.1).
+//!
+//! Theorem 1 bounds the ratio of any leaf's itemset count to the average by
+//! `exp(±k² / (d/H))`. Both the interleaved and bitonic hashes share these
+//! *bounds*; what differs is the **distribution**: for the bitonic hash a
+//! `(1 - 1/H)^(k-1)` fraction of leaves sits near the average, while for the
+//! interleaved hash at most `2/3` do (and none for even `k`). This module
+//! provides the bound computation, the good-leaf fractions, and an exact
+//! small-scale leaf-occupancy census used by tests and the balancing bench.
+
+use crate::hashfn::HashFn;
+
+/// The Theorem 1 multiplicative bounds `(lower, upper)` on
+/// `leaf_count / average` for iteration `k`, `d` items, fan-out `h`.
+pub fn occupancy_bounds(k: u32, d: u32, h: u32) -> (f64, f64) {
+    assert!(h > 0 && d > 0);
+    let e = (k as f64).powi(2) / (d as f64 / h as f64);
+    ((-e).exp(), e.exp())
+}
+
+/// Fraction of leaves with capacity close to the average under the bitonic
+/// hash: `(1 - 1/H)^(k-1)` (paper, §4.1).
+pub fn bitonic_good_leaf_fraction(k: u32, h: u32) -> f64 {
+    assert!(h > 0);
+    (1.0 - 1.0 / h as f64).powi(k as i32 - 1)
+}
+
+/// Upper bound on the fraction of good leaves under the interleaved hash:
+/// `0` for even `k`, at most `2/3` for odd `k ≥ 3` (maximum attained at
+/// `k = 3`), `1` for `k = 1` (a single level is trivially balanced).
+pub fn interleaved_good_leaf_fraction_bound(k: u32) -> f64 {
+    match k {
+        0 | 1 => 1.0,
+        k if k % 2 == 0 => 0.0,
+        _ => 2.0 / 3.0,
+    }
+}
+
+/// Exhaustively maps every k-subset of `0..d` to its leaf path
+/// `(hash(a1), ..., hash(ak))` and returns the per-leaf occupancy counts
+/// (length `H^k`, row-major by path). Exponential in `k`; intended for the
+/// small `d`, `k ≤ 4` regimes of tests and benches.
+pub fn leaf_occupancy<F: HashFn>(d: u32, k: u32, f: &F) -> Vec<u64> {
+    let h = f.fanout() as usize;
+    let leaves = h.pow(k);
+    let mut counts = vec![0u64; leaves];
+    let mut subset = Vec::with_capacity(k as usize);
+    census(d, k, f, 0, 0, &mut subset, &mut counts);
+    counts
+}
+
+fn census<F: HashFn>(
+    d: u32,
+    k: u32,
+    f: &F,
+    start: u32,
+    path: usize,
+    subset: &mut Vec<u32>,
+    counts: &mut [u64],
+) {
+    if subset.len() == k as usize {
+        counts[path] += 1;
+        return;
+    }
+    let h = f.fanout() as usize;
+    for item in start..d {
+        subset.push(item);
+        census(d, k, f, item + 1, path * h + f.hash(item) as usize, subset, counts);
+        subset.pop();
+    }
+}
+
+/// Coefficient of variation (stddev / mean) of a leaf occupancy census —
+/// the scalar we use to compare balancing quality across hash functions.
+pub fn occupancy_cv(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<u64>() as f64 / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashfn::{BitonicHash, ModHash};
+
+    #[test]
+    fn bounds_are_symmetric_and_ordered() {
+        let (lo, hi) = occupancy_bounds(3, 120, 4);
+        assert!(lo < 1.0 && hi > 1.0);
+        assert!((lo * hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_tighten_with_more_items() {
+        let (_, hi_small) = occupancy_bounds(3, 60, 4);
+        let (_, hi_large) = occupancy_bounds(3, 600, 4);
+        assert!(hi_large < hi_small);
+    }
+
+    #[test]
+    fn good_leaf_fractions_match_paper() {
+        // Bitonic approaches 1 as H grows; interleaved capped at 2/3.
+        assert!((bitonic_good_leaf_fraction(3, 10) - 0.81).abs() < 1e-12);
+        assert!(bitonic_good_leaf_fraction(3, 100) > 0.98);
+        assert_eq!(interleaved_good_leaf_fraction_bound(4), 0.0);
+        assert!((interleaved_good_leaf_fraction_bound(3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(interleaved_good_leaf_fraction_bound(1), 1.0);
+    }
+
+    #[test]
+    fn census_counts_all_subsets() {
+        let f = ModHash::new(3);
+        let d = 12u32;
+        let k = 3u32;
+        let counts = leaf_occupancy(d, k, &f);
+        let total: u64 = counts.iter().sum();
+        // C(12, 3) = 220.
+        assert_eq!(total, 220);
+        assert_eq!(counts.len(), 27);
+    }
+
+    #[test]
+    fn bitonic_census_is_more_even_than_mod() {
+        // d divisible by 2H, H > k as Theorem 1 assumes.
+        let d = 64u32;
+        let h = 4u32;
+        let k = 3u32;
+        let cv_mod = occupancy_cv(&leaf_occupancy(d, k, &ModHash::new(h)));
+        let cv_bit = occupancy_cv(&leaf_occupancy(d, k, &BitonicHash::new(h)));
+        assert!(
+            cv_bit < cv_mod,
+            "bitonic cv {cv_bit} should beat interleaved cv {cv_mod}"
+        );
+    }
+
+    #[test]
+    fn census_respects_theorem_bounds() {
+        let d = 64u32;
+        let h = 4u32;
+        let k = 2u32;
+        let counts = leaf_occupancy(d, k, &BitonicHash::new(h));
+        let avg = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+        let (lo, hi) = occupancy_bounds(k, d, h);
+        for &c in &counts {
+            let ratio = c as f64 / avg;
+            // The theorem's asymptotic bounds hold loosely at this scale;
+            // allow a modest slack factor.
+            assert!(
+                ratio <= hi * 1.5 && ratio >= lo / 1.5,
+                "ratio {ratio} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn cv_edge_cases() {
+        assert_eq!(occupancy_cv(&[]), 0.0);
+        assert_eq!(occupancy_cv(&[0, 0]), 0.0);
+        assert_eq!(occupancy_cv(&[5, 5, 5]), 0.0);
+        assert!(occupancy_cv(&[0, 10]) > 0.9);
+    }
+}

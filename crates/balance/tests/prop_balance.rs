@@ -1,0 +1,104 @@
+//! Property tests for partitioning schemes and hash functions.
+
+use arm_balance::partition::triangular_weights;
+use arm_balance::theory::{leaf_occupancy, occupancy_cv};
+use arm_balance::{BitonicHash, HashFn, IndirectionHash, ModHash, Scheme};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every scheme partitions every item exactly once with exact loads.
+    #[test]
+    fn schemes_partition_exactly(
+        weights in vec(0u64..1000, 0..150),
+        parts in 1usize..12,
+    ) {
+        for scheme in [Scheme::Block, Scheme::Interleaved, Scheme::Bitonic, Scheme::Greedy] {
+            let a = scheme.assign(&weights, parts);
+            prop_assert_eq!(a.bins.len(), parts);
+            let mut seen: Vec<usize> = a.bins.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..weights.len()).collect::<Vec<_>>());
+            for (bin, &load) in a.bins.iter().zip(&a.loads) {
+                let sum: u64 = bin.iter().map(|&i| weights[i]).sum();
+                prop_assert_eq!(sum, load);
+            }
+        }
+    }
+
+    /// Greedy LPT is within the classical 4/3 bound of the lower bound
+    /// `max(total/P, max_weight)`.
+    #[test]
+    fn greedy_respects_lpt_bound(
+        weights in vec(1u64..1000, 1..120),
+        parts in 1usize..8,
+    ) {
+        let a = Scheme::Greedy.assign(&weights, parts);
+        let total: u64 = weights.iter().sum();
+        let lower = (total as f64 / parts as f64).max(*weights.iter().max().unwrap() as f64);
+        prop_assert!(a.max_load() as f64 <= 4.0 / 3.0 * lower + 1.0,
+            "max {} vs lower {}", a.max_load(), lower);
+    }
+
+    /// On triangular workloads bitonic never trails block, and greedy
+    /// never trails bitonic.
+    #[test]
+    fn triangular_ordering(n in 1usize..200, parts in 1usize..10) {
+        let w = triangular_weights(n);
+        let block = Scheme::Block.assign(&w, parts).max_load();
+        let bitonic = Scheme::Bitonic.assign(&w, parts).max_load();
+        let greedy = Scheme::Greedy.assign(&w, parts).max_load();
+        prop_assert!(bitonic <= block);
+        prop_assert!(greedy <= bitonic);
+    }
+
+    /// Hash functions stay within their fan-out.
+    #[test]
+    fn hashes_in_range(h in 1u32..40, items in vec(0u32..100_000, 1..100)) {
+        let m = ModHash::new(h);
+        let b = BitonicHash::new(h);
+        for &i in &items {
+            prop_assert!(m.hash(i) < h);
+            prop_assert!(b.hash(i) < h);
+        }
+    }
+
+    /// Indirection vectors cover every item with a valid cell and balance
+    /// the triangular workload at least as well as mod-hash.
+    #[test]
+    fn indirection_is_valid_and_balanced(
+        n_frequent in 2u32..80,
+        h in 2u32..8,
+    ) {
+        let frequent: Vec<u32> = (0..n_frequent).map(|i| i * 3).collect();
+        let n_items = n_frequent * 3;
+        let ind = IndirectionHash::for_frequent_items(&frequent, n_items, h);
+        for i in 0..n_items {
+            prop_assert!(ind.hash(i) < h);
+        }
+        // Triangular load over frequent ranks, per cell.
+        let weights = triangular_weights(frequent.len());
+        let load = |f: &dyn HashFn| {
+            let mut cells = vec![0u64; h as usize];
+            for (rank, &item) in frequent.iter().enumerate() {
+                cells[f.hash(item) as usize] += weights[rank];
+            }
+            *cells.iter().max().unwrap()
+        };
+        let mod_hash = ModHash::new(h);
+        prop_assert!(load(&ind) <= load(&mod_hash));
+    }
+
+    /// The bitonic census is never more skewed than the interleaved one
+    /// in the regime Theorem 1 assumes (d divisible by 2H, H > k).
+    #[test]
+    fn bitonic_census_not_worse(h in 4u32..7, mult in 2u32..5) {
+        let k = 3u32;
+        let d = 2 * h * mult;
+        let cv_mod = occupancy_cv(&leaf_occupancy(d, k, &ModHash::new(h)));
+        let cv_bit = occupancy_cv(&leaf_occupancy(d, k, &BitonicHash::new(h)));
+        prop_assert!(cv_bit <= cv_mod + 1e-9, "bitonic {} vs mod {}", cv_bit, cv_mod);
+    }
+}

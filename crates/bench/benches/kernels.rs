@@ -1,0 +1,108 @@
+//! Micro-benchmarks of the hot kernels: hash functions, partitioning
+//! schemes, subset checking, and word-store access patterns.
+
+use arm_balance::{
+    bitonic_assignment, block_assignment, greedy_assignment, interleaved_assignment, BitonicHash,
+    HashFn, IndirectionHash, ModHash,
+};
+use arm_hashtree::is_subset;
+use arm_mem::{ContiguousBuilder, ScatterBuilder, WordStore, WordStoreBuilder};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_hash_functions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashfn");
+    let items: Vec<u32> = (0..1024u32).collect();
+    let m = ModHash::new(97);
+    let b = BitonicHash::new(97);
+    let ind = IndirectionHash::for_frequent_items(&items, 1024, 97);
+    g.bench_function("mod", |bch| {
+        bch.iter(|| items.iter().map(|&i| m.hash(black_box(i))).sum::<u32>())
+    });
+    g.bench_function("bitonic", |bch| {
+        bch.iter(|| items.iter().map(|&i| b.hash(black_box(i))).sum::<u32>())
+    });
+    g.bench_function("indirection", |bch| {
+        bch.iter(|| items.iter().map(|&i| ind.hash(black_box(i))).sum::<u32>())
+    });
+    g.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition");
+    let weights: Vec<u64> = (0..5000u64).rev().collect();
+    g.bench_function("block", |b| {
+        b.iter(|| block_assignment(black_box(&weights), 8).max_load())
+    });
+    g.bench_function("interleaved", |b| {
+        b.iter(|| interleaved_assignment(black_box(&weights), 8).max_load())
+    });
+    g.bench_function("bitonic", |b| {
+        b.iter(|| bitonic_assignment(black_box(&weights), 8).max_load())
+    });
+    g.bench_function("greedy", |b| {
+        b.iter(|| greedy_assignment(black_box(&weights), 8).max_load())
+    });
+    g.finish();
+}
+
+fn bench_subset_check(c: &mut Criterion) {
+    let hay: Vec<u32> = (0..40).map(|i| i * 7).collect();
+    let hit: Vec<u32> = vec![0, 70, 210];
+    let miss: Vec<u32> = vec![0, 71, 210];
+    c.bench_function("is_subset_hit", |b| {
+        b.iter(|| is_subset(black_box(&hit), black_box(&hay)))
+    });
+    c.bench_function("is_subset_miss", |b| {
+        b.iter(|| is_subset(black_box(&miss), black_box(&hay)))
+    });
+}
+
+fn bench_word_stores(c: &mut Criterion) {
+    let mut g = c.benchmark_group("word_store");
+    // 10k blocks of 8 words, walked in order — the traversal access shape.
+    const BLOCKS: u32 = 10_000;
+    let contiguous = {
+        let mut b = ContiguousBuilder::new();
+        let hs: Vec<u32> = (0..BLOCKS).map(|_| b.alloc(8)).collect();
+        for &h in &hs {
+            b.set(h, 0, h);
+        }
+        (b.finish(), hs)
+    };
+    let scatter = {
+        let mut b = ScatterBuilder::new();
+        let hs: Vec<u32> = (0..BLOCKS).map(|_| b.alloc(8)).collect();
+        for &h in &hs {
+            b.set(h, 0, h);
+        }
+        (b.finish(), hs)
+    };
+    g.bench_function("contiguous_walk", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u64;
+            for &h in &contiguous.1 {
+                acc += contiguous.0.load(h, 0) as u64;
+            }
+            acc
+        })
+    });
+    g.bench_function("scatter_walk", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u64;
+            for &h in &scatter.1 {
+                acc += scatter.0.load(h, 0) as u64;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash_functions,
+    bench_partitioning,
+    bench_subset_check,
+    bench_word_stores
+);
+criterion_main!(benches);

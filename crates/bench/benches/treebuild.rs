@@ -1,0 +1,77 @@
+//! Hash-tree construction and freezing benchmarks: sequential vs
+//! concurrent insertion, and the freeze cost of each placement policy
+//! (the paper reports GPP's remap at <2% of run time).
+
+use arm_balance::BitonicHash;
+use arm_hashtree::{freeze_policy, CandidateSet, PlacementPolicy, TreeBuilder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn candidate_set(n_items: u32, k: usize) -> CandidateSet {
+    // Dense synthetic candidate population: every (a, a+s, a+2s) triple.
+    let mut c = CandidateSet::new(k as u32);
+    let mut buf = Vec::with_capacity(k);
+    for a in 0..n_items {
+        for s in 1..6u32 {
+            buf.clear();
+            for j in 0..k as u32 {
+                buf.push(a + s * j);
+            }
+            if *buf.last().unwrap() < n_items {
+                c.push(&buf);
+            }
+        }
+    }
+    c
+}
+
+fn bench_build(c: &mut Criterion) {
+    let cands = candidate_set(400, 3);
+    let hash = BitonicHash::new(16);
+    let mut g = c.benchmark_group("treebuild");
+    g.sample_size(20);
+    g.bench_function("sequential_insert", |b| {
+        b.iter(|| {
+            let t = TreeBuilder::new(&cands, &hash, 8);
+            t.insert_all();
+            t.node_count()
+        })
+    });
+    g.bench_function("concurrent_insert_4t", |b| {
+        b.iter(|| {
+            let t = TreeBuilder::new(&cands, &hash, 8);
+            std::thread::scope(|s| {
+                for part in 0..4u32 {
+                    let t = &t;
+                    s.spawn(move || {
+                        let n = t.n_candidates() as u32;
+                        let mut id = part;
+                        while id < n {
+                            t.insert(id);
+                            id += 4;
+                        }
+                    });
+                }
+            });
+            t.node_count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_freeze(c: &mut Criterion) {
+    let cands = candidate_set(400, 3);
+    let hash = BitonicHash::new(16);
+    let builder = TreeBuilder::new(&cands, &hash, 8);
+    builder.insert_all();
+    let mut g = c.benchmark_group("freeze");
+    g.sample_size(20);
+    for policy in PlacementPolicy::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &p| {
+            b.iter(|| freeze_policy(&builder, p).total_bytes())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_freeze);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Runs the full experiment suite: Table 2 and every figure, in order.
+//!
+//! Each experiment is also available as its own binary (`table2`,
+//! `fig6`..`fig13`). Scale via `ARM_SCALE` (quick | default | full);
+//! CSV output lands in `ARM_OUT` (default `EXPERIMENTS-data/`).
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 12] = [
+    "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablations",
+    "baselines", "scaling",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("exe dir");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n################ {name} ################\n");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            failures.push(name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed; CSVs in EXPERIMENTS-data/ (or $ARM_OUT).");
+    } else {
+        eprintln!("\nFAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

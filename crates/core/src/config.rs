@@ -1,0 +1,147 @@
+//! Mining configuration: every optimization of §3–§5 is a knob here, so
+//! the benchmark harness can reproduce the paper's base/optimized pairs.
+
+use arm_hashtree::{PlacementPolicy, VisitedMode};
+
+/// Minimum support specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Support {
+    /// Fraction of the database size (the paper's "0.5%" = `0.005`).
+    Fraction(f64),
+    /// Absolute transaction count.
+    Absolute(u32),
+}
+
+impl Support {
+    /// Resolves to an absolute count for a database of `n` transactions
+    /// (rounded up, clamped to ≥ 1).
+    pub fn absolute(self, n: usize) -> u32 {
+        match self {
+            Support::Absolute(a) => a.max(1),
+            Support::Fraction(f) => {
+                let s = (f * n as f64).ceil();
+                s.max(1.0) as u32
+            }
+        }
+    }
+}
+
+/// Which item-to-cell hash the tree uses (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HashScheme {
+    /// The naive `i mod H` (the unoptimized base case).
+    Interleaved,
+    /// The bitonic indirection vector built from the frequent items
+    /// (the TREE optimization).
+    Bitonic,
+}
+
+/// Full configuration of a mining run.
+#[derive(Debug, Clone)]
+pub struct AprioriConfig {
+    /// Minimum support.
+    pub min_support: Support,
+    /// Leaf split threshold `T` (small values mean fast leaf scans).
+    pub leaf_threshold: usize,
+    /// Tree hash function choice.
+    pub hash_scheme: HashScheme,
+    /// Derive the fan-out per iteration from `H > (Σ C(|Si|,2)/T)^(1/k)`
+    /// (§3.1.1). When false, `fixed_fanout` is used.
+    pub adaptive_fanout: bool,
+    /// Fan-out used when `adaptive_fanout` is off.
+    pub fixed_fanout: u32,
+    /// Short-circuited subset checking (§4.2).
+    pub short_circuit: bool,
+    /// VISITED stamp storage: per-node, or the paper's reduced `k·H·P`
+    /// path-tagged scheme (§4.2).
+    pub visited: VisitedMode,
+    /// DHP-style pair filtering (Park et al.): collect a hashed pair-count
+    /// table of this many buckets during the first scan and prune `C_2`
+    /// candidates whose bucket count is below the minimum support.
+    /// `None` disables the filter (the paper's configuration).
+    pub pair_filter_buckets: Option<usize>,
+    /// Memory placement policy (§5).
+    pub placement: PlacementPolicy,
+    /// Optional cap on the itemset length mined.
+    pub max_k: Option<u32>,
+}
+
+impl Default for AprioriConfig {
+    fn default() -> Self {
+        AprioriConfig {
+            min_support: Support::Fraction(0.005),
+            leaf_threshold: 8,
+            hash_scheme: HashScheme::Bitonic,
+            adaptive_fanout: true,
+            fixed_fanout: 8,
+            short_circuit: true,
+            visited: VisitedMode::PerNode,
+            pair_filter_buckets: None,
+            placement: PlacementPolicy::Gpp,
+            max_k: None,
+        }
+    }
+}
+
+impl AprioriConfig {
+    /// The paper's *unoptimized* baseline: interleaved hash, fixed fan-out,
+    /// no short-circuiting, standard-malloc placement.
+    pub fn unoptimized() -> Self {
+        AprioriConfig {
+            min_support: Support::Fraction(0.005),
+            leaf_threshold: 8,
+            hash_scheme: HashScheme::Interleaved,
+            adaptive_fanout: false,
+            fixed_fanout: 8,
+            short_circuit: false,
+            visited: VisitedMode::PerNode,
+            pair_filter_buckets: None,
+            placement: PlacementPolicy::Ccpd,
+            max_k: None,
+        }
+    }
+
+    /// Builder-style support setter.
+    pub fn with_support(mut self, s: Support) -> Self {
+        self.min_support = s;
+        self
+    }
+
+    /// Builder-style placement setter.
+    pub fn with_placement(mut self, p: PlacementPolicy) -> Self {
+        self.placement = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_resolution() {
+        assert_eq!(Support::Fraction(0.005).absolute(100_000), 500);
+        assert_eq!(Support::Fraction(0.0).absolute(100), 1);
+        assert_eq!(Support::Absolute(0).absolute(10), 1);
+        assert_eq!(Support::Absolute(7).absolute(10), 7);
+        assert_eq!(Support::Fraction(0.26).absolute(4), 2);
+    }
+
+    #[test]
+    fn presets_differ() {
+        let opt = AprioriConfig::default();
+        let base = AprioriConfig::unoptimized();
+        assert_ne!(opt.hash_scheme, base.hash_scheme);
+        assert!(opt.short_circuit && !base.short_circuit);
+        assert!(opt.adaptive_fanout && !base.adaptive_fanout);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = AprioriConfig::default()
+            .with_support(Support::Absolute(3))
+            .with_placement(PlacementPolicy::Lpp);
+        assert_eq!(c.min_support, Support::Absolute(3));
+        assert_eq!(c.placement, PlacementPolicy::Lpp);
+    }
+}

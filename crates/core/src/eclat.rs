@@ -1,0 +1,163 @@
+//! Eclat-style vertical mining — the tidlist-intersection approach of the
+//! authors' follow-up work (§7.1: "only simple intersection operations
+//! are used to compute the frequent itemsets").
+//!
+//! The database is turned on its side: each frequent item carries the
+//! sorted list of transaction ids containing it. An equivalence class of
+//! itemsets sharing a prefix is extended depth-first; the support of a
+//! join is the length of the intersection of the parents' tidlists. No
+//! hash tree, no re-scanning — the trade-off is tidlist memory.
+//!
+//! Serves as an independent comparator for the Apriori implementations
+//! (identical output, completely different mechanics).
+
+use arm_dataset::{Database, Item, Tid};
+
+/// A prefix-class member during the DFS: the extending item and the
+/// tidlist of `prefix ∪ {item}`.
+struct Member {
+    item: Item,
+    tids: Vec<Tid>,
+}
+
+/// Mines all frequent itemsets by vertical tidlist intersection.
+/// Output is ordered by itemset length, then lexicographically, matching
+/// [`crate::apriori::MiningResult::all_itemsets`].
+pub fn mine_eclat(
+    db: &Database,
+    min_support: u32,
+    max_k: Option<u32>,
+) -> Vec<(Vec<Item>, u32)> {
+    let min_support = min_support.max(1);
+    // Vertical representation of the frequent items.
+    let mut tidlists: Vec<Vec<Tid>> = vec![Vec::new(); db.n_items() as usize];
+    for (tid, txn) in db.iter().enumerate() {
+        for &item in txn {
+            tidlists[item as usize].push(tid as Tid);
+        }
+    }
+    let mut root: Vec<Member> = Vec::new();
+    for (i, tids) in tidlists.iter_mut().enumerate() {
+        if tids.len() >= min_support as usize {
+            root.push(Member {
+                item: i as Item,
+                tids: std::mem::take(tids),
+            });
+        }
+    }
+
+    let mut out = Vec::new();
+    for m in &root {
+        out.push((vec![m.item], m.tids.len() as u32));
+    }
+    let mut prefix = Vec::new();
+    if max_k != Some(1) && max_k != Some(0) {
+        extend(&root, &mut prefix, min_support, max_k, &mut out);
+    }
+    // DFS emits prefix order; canonicalize to length-then-lex.
+    out.sort_by(|a, b| a.0.len().cmp(&b.0.len()).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+fn extend(
+    class: &[Member],
+    prefix: &mut Vec<Item>,
+    min_support: u32,
+    max_k: Option<u32>,
+    out: &mut Vec<(Vec<Item>, u32)>,
+) {
+    for (i, a) in class.iter().enumerate() {
+        let mut child_class = Vec::new();
+        for b in &class[i + 1..] {
+            let tids = intersect(&a.tids, &b.tids);
+            if tids.len() >= min_support as usize {
+                child_class.push(Member {
+                    item: b.item,
+                    tids,
+                });
+            }
+        }
+        if child_class.is_empty() {
+            continue;
+        }
+        prefix.push(a.item);
+        for m in &child_class {
+            let mut items = prefix.clone();
+            items.push(m.item);
+            out.push((items, m.tids.len() as u32));
+        }
+        let depth = prefix.len() as u32 + 1; // length of emitted itemsets
+        if max_k.is_none_or(|cap| depth < cap) {
+            extend(&child_class, prefix, min_support, max_k, out);
+        }
+        prefix.pop();
+    }
+}
+
+/// Sorted-list intersection (the hot kernel of vertical mining).
+pub fn intersect(a: &[Tid], b: &[Tid]) -> Vec<Tid> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::mine_levelwise;
+
+    fn paper_db() -> Database {
+        Database::from_transactions(
+            8,
+            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn intersect_basics() {
+        assert_eq!(intersect(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect(&[], &[1]), Vec::<Tid>::new());
+        assert_eq!(intersect(&[1, 2], &[3, 4]), Vec::<Tid>::new());
+        assert_eq!(intersect(&[1, 2, 3], &[1, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_levelwise_on_worked_example() {
+        let db = paper_db();
+        for minsup in 1..=4 {
+            assert_eq!(
+                mine_eclat(&db, minsup, None),
+                mine_levelwise(&db, minsup, None),
+                "minsup={minsup}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_k_caps_depth() {
+        let db = paper_db();
+        let got = mine_eclat(&db, 2, Some(2));
+        assert!(got.iter().all(|(s, _)| s.len() <= 2));
+        assert_eq!(got, mine_levelwise(&db, 2, Some(2)));
+        let ones = mine_eclat(&db, 2, Some(1));
+        assert!(ones.iter().all(|(s, _)| s.len() == 1));
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = Database::from_transactions(4, Vec::<Vec<u32>>::new()).unwrap();
+        assert!(mine_eclat(&db, 1, None).is_empty());
+    }
+}

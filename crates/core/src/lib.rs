@@ -1,0 +1,57 @@
+//! Sequential Apriori association mining with the paper's optimizations.
+//!
+//! This crate assembles the substrates ([`arm_dataset`], [`arm_balance`],
+//! [`arm_hashtree`], [`arm_mem`]) into the full mining pipeline:
+//!
+//! * [`f1`] — the first (histogram) pass producing `F_1`;
+//! * [`generation`] — equivalence-class join, pruning, adaptive fan-out;
+//! * [`apriori`] — the iteration driver with per-iteration statistics;
+//! * [`rules`] — confidence-based rule generation (ap-genrules);
+//! * [`naive`] — two independent reference miners for verification;
+//! * [`config`] — every §3–§5 optimization as a knob.
+//!
+//! ```
+//! use arm_core::{mine, AprioriConfig, Support, generate_rules};
+//! use arm_dataset::Database;
+//!
+//! let db = Database::from_transactions(
+//!     8,
+//!     [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+//! )
+//! .unwrap();
+//! let cfg = AprioriConfig {
+//!     min_support: Support::Absolute(2),
+//!     leaf_threshold: 2,
+//!     ..AprioriConfig::default()
+//! };
+//! let result = mine(&db, &cfg);
+//! assert_eq!(result.support_of(&[1, 4, 5]), Some(2));
+//! let rules = generate_rules(&result, 1.0);
+//! assert!(rules.iter().any(|r| r.antecedent == vec![2] && r.consequent == vec![1]));
+//! ```
+
+pub mod apriori;
+pub mod config;
+pub mod eclat;
+pub mod f1;
+pub mod generation;
+pub mod level;
+pub mod naive;
+pub mod partition_algo;
+pub mod rules;
+pub mod summaries;
+pub mod taxonomy;
+
+pub use apriori::{f1_items, make_hash, mine, IterStats, MiningResult};
+pub use config::{AprioriConfig, HashScheme, Support};
+pub use eclat::mine_eclat;
+pub use f1::{count_singletons, frequent_from_counts, frequent_singletons};
+pub use partition_algo::mine_partition;
+pub use generation::{
+    adaptive_fanout, class_weight, equivalence_classes, generate_candidates, generate_class,
+    generate_class_member,
+};
+pub use level::FrequentLevel;
+pub use rules::{generate_rules, Rule};
+pub use summaries::{closed_itemsets, maximal_itemsets};
+pub use taxonomy::{mine_generalized, Taxonomy};

@@ -1,0 +1,128 @@
+//! Reference miners used as ground truth by tests and property checks.
+//!
+//! Two independent implementations:
+//! * [`mine_levelwise`] — Apriori structure but with brute-force subset
+//!   counting (no hash tree), exercising the candidate-generation logic
+//!   against a trivial counting path;
+//! * [`mine_exhaustive`] — full powerset enumeration for tiny item
+//!   universes (`n_items ≤ 20`), independent of *all* mining machinery.
+
+use crate::f1::frequent_singletons;
+use crate::generation::generate_candidates;
+use crate::level::FrequentLevel;
+use arm_dataset::{Database, Item};
+use arm_hashtree::{naive_counts, CandidateSet};
+
+/// Apriori with naive counting. Returns `(items, support)` for every
+/// frequent itemset, ordered by length then lexicographically.
+pub fn mine_levelwise(db: &Database, min_support: u32, max_k: Option<u32>) -> Vec<(Vec<Item>, u32)> {
+    let mut out = Vec::new();
+    let mut level = frequent_singletons(db, min_support);
+    let mut k = 1u32;
+    loop {
+        for (s, c) in level.iter() {
+            out.push((s.to_vec(), c));
+        }
+        if level.is_empty() || max_k.is_some_and(|m| k >= m) {
+            break;
+        }
+        let (cands, _) = generate_candidates(&level);
+        if cands.is_empty() {
+            break;
+        }
+        let counts = naive_counts(&cands, db);
+        let mut sets = CandidateSet::new(k + 1);
+        let mut sups = Vec::new();
+        for (id, items) in cands.iter() {
+            if counts[id as usize] >= min_support {
+                sets.push(items);
+                sups.push(counts[id as usize]);
+            }
+        }
+        level = FrequentLevel::new(sets, sups);
+        k += 1;
+    }
+    out
+}
+
+/// Exhaustive powerset miner for tiny universes. Panics when
+/// `db.n_items() > 20` (the 2^n enumeration would be unreasonable).
+pub fn mine_exhaustive(db: &Database, min_support: u32) -> Vec<(Vec<Item>, u32)> {
+    let n = db.n_items();
+    assert!(n <= 20, "exhaustive miner is for tiny universes only");
+    // Encode transactions as bitmasks.
+    let masks: Vec<u32> = db
+        .iter()
+        .map(|t| t.iter().fold(0u32, |m, &i| m | (1 << i)))
+        .collect();
+    let mut out = Vec::new();
+    for set in 1u32..(1 << n) {
+        let support = masks.iter().filter(|&&m| m & set == set).count() as u32;
+        if support >= min_support {
+            let items: Vec<Item> = (0..n).filter(|&i| set & (1 << i) != 0).collect();
+            out.push((items, support));
+        }
+    }
+    // Order by length then lexicographic, matching the level-wise miners.
+    out.sort_by(|a, b| a.0.len().cmp(&b.0.len()).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_db() -> Database {
+        Database::from_transactions(
+            8,
+            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn levelwise_matches_worked_example() {
+        let got = mine_levelwise(&paper_db(), 2, None);
+        let names: Vec<Vec<u32>> = got.iter().map(|(s, _)| s.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                vec![1],
+                vec![2],
+                vec![4],
+                vec![5],
+                vec![1, 2],
+                vec![1, 4],
+                vec![1, 5],
+                vec![4, 5],
+                vec![1, 4, 5],
+            ]
+        );
+    }
+
+    #[test]
+    fn exhaustive_agrees_with_levelwise() {
+        let db = paper_db();
+        for minsup in 1..=4 {
+            assert_eq!(
+                mine_levelwise(&db, minsup, None),
+                mine_exhaustive(&db, minsup),
+                "minsup={minsup}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_k_truncates() {
+        let got = mine_levelwise(&paper_db(), 2, Some(1));
+        assert!(got.iter().all(|(s, _)| s.len() == 1));
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tiny universes")]
+    fn exhaustive_rejects_large_universe() {
+        let db = Database::from_transactions(30, [vec![0u32]]).unwrap();
+        mine_exhaustive(&db, 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! The Partition algorithm (Savasere, Omiecinski & Navathe, VLDB'95) —
+//! the two-scan comparator from the paper's related work (§7.1).
+//!
+//! Scan 1: split the database into memory-sized chunks and mine each
+//! chunk *locally* (here with the vertical miner). Any globally frequent
+//! itemset is locally frequent in at least one chunk (pigeonhole over the
+//! proportional local supports), so the union of local results is a
+//! superset of the global answer. Scan 2: count that candidate union
+//! globally — one hash tree per itemset length — and filter.
+
+use crate::eclat::mine_eclat;
+use arm_balance::ModHash;
+use arm_dataset::{block_ranges, Database, Item};
+use arm_hashtree::{
+    freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, PlacementPolicy,
+    TreeBuilder, WorkMeter,
+};
+use std::collections::BTreeSet;
+
+/// Mines with the Partition algorithm. `min_support_fraction` must be a
+/// fraction (local supports are proportional per chunk); `n_chunks ≥ 1`.
+/// Output matches [`crate::apriori::MiningResult::all_itemsets`] ordering.
+pub fn mine_partition(
+    db: &Database,
+    min_support_fraction: f64,
+    n_chunks: usize,
+    max_k: Option<u32>,
+) -> Vec<(Vec<Item>, u32)> {
+    let n_chunks = n_chunks.max(1);
+    let global_minsup = {
+        let s = (min_support_fraction * db.len() as f64).ceil();
+        (s.max(1.0)) as u32
+    };
+
+    // ---- Scan 1: local mining per chunk --------------------------------
+    let mut candidates: BTreeSet<Vec<Item>> = BTreeSet::new();
+    for range in block_ranges(db.len(), n_chunks) {
+        if range.is_empty() {
+            continue;
+        }
+        // Rebuild the chunk as its own database (the on-disk algorithm
+        // reads it into memory; we slice).
+        let chunk = Database::from_transactions(
+            db.n_items(),
+            range.clone().map(|i| db.transaction(i).to_vec()),
+        )
+        .expect("chunk items are in range");
+        let local_minsup = {
+            let s = (min_support_fraction * chunk.len() as f64).ceil();
+            (s.max(1.0)) as u32
+        };
+        for (items, _) in mine_eclat(&chunk, local_minsup, max_k) {
+            candidates.insert(items);
+        }
+    }
+
+    // ---- Scan 2: global support of the candidate union -----------------
+    let mut out = Vec::new();
+    let mut by_len: std::collections::BTreeMap<usize, CandidateSet> =
+        std::collections::BTreeMap::new();
+    for items in &candidates {
+        by_len
+            .entry(items.len())
+            .or_insert_with(|| CandidateSet::new(items.len() as u32))
+            .push(items);
+    }
+    for (len, cands) in by_len {
+        let counts = if len == 1 {
+            // Histogram instead of a degenerate tree.
+            let hist = crate::f1::count_singletons(db, 0..db.len());
+            (0..cands.len() as u32)
+                .map(|id| hist[cands.get(id)[0] as usize])
+                .collect::<Vec<u32>>()
+        } else {
+            let fanout = ((cands.len() as f64).powf(1.0 / len as f64).ceil() as u32).max(2);
+            let hash = ModHash::new(fanout);
+            let builder = TreeBuilder::new(&cands, &hash, 8);
+            builder.insert_all();
+            let tree = freeze_policy(&builder, PlacementPolicy::Gpp);
+            let mut scratch = CountScratch::new(db.n_items(), tree.n_nodes());
+            let mut meter = WorkMeter::default();
+            tree.count_partition(
+                &hash,
+                db,
+                0..db.len(),
+                &mut scratch,
+                &mut CounterRef::Inline,
+                CountOptions::default(),
+                &mut meter,
+            );
+            tree.inline_counts()
+        };
+        for (id, items) in cands.iter() {
+            if counts[id as usize] >= global_minsup {
+                out.push((items.to_vec(), counts[id as usize]));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::mine_levelwise;
+
+    fn paper_db() -> Database {
+        Database::from_transactions(
+            8,
+            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_chunk_equals_plain_mining() {
+        let db = paper_db();
+        let got = mine_partition(&db, 0.5, 1, None);
+        let expected = mine_levelwise(&db, 2, None);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn multiple_chunks_equal_plain_mining() {
+        let db = paper_db();
+        for chunks in [2usize, 3, 4, 7] {
+            let got = mine_partition(&db, 0.5, chunks, None);
+            let expected = mine_levelwise(&db, 2, None);
+            assert_eq!(got, expected, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn larger_random_database_agrees() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let txns: Vec<Vec<u32>> = (0..300)
+            .map(|_| (0..6).map(|_| rng.gen_range(0..20u32)).collect())
+            .collect();
+        let db = Database::from_transactions(20, txns).unwrap();
+        let frac = 0.05;
+        let minsup = (frac * db.len() as f64).ceil() as u32;
+        let expected = mine_levelwise(&db, minsup, None);
+        for chunks in [1usize, 3, 5] {
+            assert_eq!(mine_partition(&db, frac, chunks, None), expected, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn max_k_respected() {
+        let db = paper_db();
+        let got = mine_partition(&db, 0.5, 2, Some(2));
+        assert!(got.iter().all(|(s, _)| s.len() <= 2));
+        assert_eq!(got, mine_levelwise(&db, 2, Some(2)));
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = Database::from_transactions(4, Vec::<Vec<u32>>::new()).unwrap();
+        assert!(mine_partition(&db, 0.1, 3, None).is_empty());
+    }
+}

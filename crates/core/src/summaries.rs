@@ -1,0 +1,158 @@
+//! Condensed representations of a mining result: *maximal* and *closed*
+//! frequent itemsets.
+//!
+//! The paper's related-work section surveys maximal-itemset miners
+//! (All-MFS, Pincer-Search, MaxMiner); downstream users routinely want
+//! these summaries, so we derive them from the level-wise result:
+//!
+//! * an itemset is **maximal** when no frequent superset exists;
+//! * an itemset is **closed** when no frequent superset has the *same*
+//!   support (closed sets preserve all support information; maximal sets
+//!   preserve only the frequent/infrequent border).
+
+use crate::apriori::MiningResult;
+use arm_dataset::Item;
+
+/// Returns all maximal frequent itemsets with their supports, ordered by
+/// length then lexicographically.
+pub fn maximal_itemsets(result: &MiningResult) -> Vec<(Vec<Item>, u32)> {
+    filter_by_superset(result, |_, _| true)
+}
+
+/// Returns all closed frequent itemsets with their supports, ordered by
+/// length then lexicographically.
+pub fn closed_itemsets(result: &MiningResult) -> Vec<(Vec<Item>, u32)> {
+    // An itemset is pruned only when a superset with *equal* support
+    // exists.
+    filter_by_superset(result, |sub_support, super_support| {
+        sub_support == super_support
+    })
+}
+
+/// Shared engine: keep an itemset unless some frequent (k+1)-superset
+/// satisfies `prunes(support(subset), support(superset))`.
+///
+/// Level `k+1` supersets suffice: superset relations compose, so if any
+/// larger superset prunes `X`, some intermediate (k+1)-superset does too
+/// (for maximality trivially; for closedness because support is
+/// monotone along the chain — equal support at the far end forces equal
+/// support at every step).
+fn filter_by_superset(
+    result: &MiningResult,
+    prunes: impl Fn(u32, u32) -> bool,
+) -> Vec<(Vec<Item>, u32)> {
+    let mut out = Vec::new();
+    let mut subset = Vec::new();
+    for (li, level) in result.levels.iter().enumerate() {
+        let next = result.levels.get(li + 1);
+        for i in 0..level.len() {
+            let items = level.get(i);
+            let support = level.support(i);
+            let mut pruned = false;
+            if let Some(next) = next {
+                // Check the (k+1)-supersets of `items`: a superset is any
+                // next-level itemset containing all of `items`. Instead of
+                // scanning the next level, enumerate candidates by
+                // *inserting* each possible item — but that is O(N);
+                // scanning the next level with a subset test is O(|F_{k+1}| · k)
+                // and independent of the item universe, so scan.
+                for j in 0..next.len() {
+                    let sup_items = next.get(j);
+                    if arm_hashtree::is_subset(items, sup_items)
+                        && prunes(support, next.support(j))
+                    {
+                        pruned = true;
+                        break;
+                    }
+                }
+            }
+            if !pruned {
+                subset.clear();
+                subset.extend_from_slice(items);
+                out.push((subset.clone(), support));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::mine;
+    use crate::config::{AprioriConfig, Support};
+    use arm_dataset::Database;
+
+    fn paper_result() -> MiningResult {
+        let db = Database::from_transactions(
+            8,
+            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+        )
+        .unwrap();
+        mine(
+            &db,
+            &AprioriConfig {
+                min_support: Support::Absolute(2),
+                leaf_threshold: 2,
+                ..AprioriConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn maximal_of_worked_example() {
+        // Frequent: {1},{2},{4},{5},{1,2},{1,4},{1,5},{4,5},{1,4,5}.
+        // Maximal: {1,2} and {1,4,5}.
+        let m = maximal_itemsets(&paper_result());
+        let names: Vec<Vec<u32>> = m.iter().map(|(s, _)| s.clone()).collect();
+        assert_eq!(names, vec![vec![1, 2], vec![1, 4, 5]]);
+    }
+
+    #[test]
+    fn closed_of_worked_example() {
+        // Supports: 1:3 2:2 4:3 5:3 | 12:2 14:2 15:2 45:3 | 145:2.
+        // {1} closed (3; no superset with 3). {2} not ({1,2} also 2).
+        // {4},{5} not closed ({4,5} has 3). {1,2} closed. {1,4},{1,5}
+        // not ({1,4,5} = 2). {4,5} closed. {1,4,5} closed.
+        let c = closed_itemsets(&paper_result());
+        let names: Vec<Vec<u32>> = c.iter().map(|(s, _)| s.clone()).collect();
+        assert_eq!(
+            names,
+            vec![vec![1], vec![1, 2], vec![4, 5], vec![1, 4, 5]]
+        );
+    }
+
+    #[test]
+    fn maximal_is_subset_of_closed() {
+        // Every maximal itemset is closed (no superset at all ⇒ no
+        // equal-support superset).
+        let r = paper_result();
+        let closed = closed_itemsets(&r);
+        for m in maximal_itemsets(&r) {
+            assert!(closed.contains(&m), "{m:?} maximal but not closed");
+        }
+    }
+
+    #[test]
+    fn all_frequent_recoverable_from_maximal() {
+        // Each frequent itemset must be a subset of some maximal one.
+        let r = paper_result();
+        let maximal = maximal_itemsets(&r);
+        for (items, _) in r.all_itemsets() {
+            assert!(
+                maximal
+                    .iter()
+                    .any(|(m, _)| arm_hashtree::is_subset(&items, m)),
+                "{items:?} not covered"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_result_gives_empty_summaries() {
+        let db = Database::from_transactions(4, Vec::<Vec<u32>>::new()).unwrap();
+        let r = mine(&db, &AprioriConfig::default());
+        assert!(maximal_itemsets(&r).is_empty());
+        assert!(closed_itemsets(&r).is_empty());
+    }
+}

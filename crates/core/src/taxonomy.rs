@@ -1,0 +1,278 @@
+//! Multi-level (taxonomy) association mining — Srikant & Agrawal's
+//! *generalized association rules*, which the paper names as a direct
+//! application of its techniques ("the proposed techniques are directly
+//! applicable to ... multi-level (taxonomies) associations", §8).
+//!
+//! Items are arranged in an is-a forest (`jacket` is-a `outerwear` is-a
+//! `clothes`). A transaction supports an itemset if the itemset's items
+//! are items *or ancestors* of the transaction's items. The standard
+//! reduction: extend every transaction with all ancestors of its items,
+//! then run plain Apriori — every optimization of this crate (balanced
+//! trees, placement, parallel CCPD) applies unchanged to the extended
+//! database. Itemsets containing an item together with one of its own
+//! ancestors are pruned afterwards (their support equals the itemset
+//! without the ancestor; they carry no information).
+
+use crate::apriori::{mine, MiningResult};
+use crate::config::AprioriConfig;
+use arm_dataset::{Database, DatabaseBuilder, Item};
+
+/// An is-a forest over the item universe.
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    parent: Vec<Option<Item>>,
+}
+
+/// Errors raised while building a taxonomy.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TaxonomyError {
+    /// Item id out of range.
+    OutOfRange(Item),
+    /// The child already has a different parent.
+    Reparented(Item),
+    /// The edge would close a cycle.
+    Cycle(Item),
+}
+
+impl std::fmt::Display for TaxonomyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaxonomyError::OutOfRange(i) => write!(f, "item {i} out of range"),
+            TaxonomyError::Reparented(i) => write!(f, "item {i} already has a parent"),
+            TaxonomyError::Cycle(i) => write!(f, "edge from {i} would create a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for TaxonomyError {}
+
+impl Taxonomy {
+    /// A flat taxonomy (no edges) over `n_items` items.
+    pub fn new(n_items: u32) -> Self {
+        Taxonomy {
+            parent: vec![None; n_items as usize],
+        }
+    }
+
+    /// Declares `child` is-a `parent`. Rejects out-of-range ids,
+    /// re-parenting, and cycles.
+    pub fn add_edge(&mut self, child: Item, parent: Item) -> Result<(), TaxonomyError> {
+        let n = self.parent.len() as u32;
+        if child >= n {
+            return Err(TaxonomyError::OutOfRange(child));
+        }
+        if parent >= n {
+            return Err(TaxonomyError::OutOfRange(parent));
+        }
+        if self.parent[child as usize].is_some() {
+            return Err(TaxonomyError::Reparented(child));
+        }
+        // Walking up from `parent` must not reach `child`.
+        let mut cur = Some(parent);
+        while let Some(p) = cur {
+            if p == child {
+                return Err(TaxonomyError::Cycle(child));
+            }
+            cur = self.parent[p as usize];
+        }
+        self.parent[child as usize] = Some(parent);
+        Ok(())
+    }
+
+    /// The immediate parent of `item`.
+    pub fn parent(&self, item: Item) -> Option<Item> {
+        self.parent[item as usize]
+    }
+
+    /// All proper ancestors of `item`, nearest first.
+    pub fn ancestors(&self, item: Item) -> Vec<Item> {
+        let mut out = Vec::new();
+        let mut cur = self.parent[item as usize];
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent[p as usize];
+        }
+        out
+    }
+
+    /// True when `anc` is a proper ancestor of `item`.
+    pub fn is_ancestor(&self, anc: Item, item: Item) -> bool {
+        let mut cur = self.parent[item as usize];
+        while let Some(p) = cur {
+            if p == anc {
+                return true;
+            }
+            cur = self.parent[p as usize];
+        }
+        false
+    }
+
+    /// Extends every transaction with all ancestors of its items (the
+    /// generalized-rules reduction). Item universe is unchanged.
+    pub fn extend_database(&self, db: &Database) -> Database {
+        let mut b = DatabaseBuilder::with_capacity(db.n_items(), db.len(), 0);
+        let mut buf: Vec<Item> = Vec::new();
+        for txn in db {
+            buf.clear();
+            buf.extend_from_slice(txn);
+            for &item in txn {
+                buf.extend(self.ancestors(item));
+            }
+            b.push(buf.iter().copied())
+                .expect("extended items stay in range");
+        }
+        b.finish()
+    }
+
+    /// True when `items` contains some item together with one of its own
+    /// ancestors (such itemsets are informationally redundant).
+    pub fn has_internal_ancestor(&self, items: &[Item]) -> bool {
+        items
+            .iter()
+            .any(|&a| items.iter().any(|&b| a != b && self.is_ancestor(a, b)))
+    }
+}
+
+/// Mines generalized (multi-level) frequent itemsets: transactions are
+/// extended with ancestors, mined with the configured Apriori, and
+/// redundant ancestor-within-itemset results are dropped.
+pub fn mine_generalized(
+    db: &Database,
+    taxonomy: &Taxonomy,
+    config: &AprioriConfig,
+) -> MiningResult {
+    let extended = taxonomy.extend_database(db);
+    let mut result = mine(&extended, config);
+    // Prune levels in place: keep supports aligned.
+    for level in &mut result.levels {
+        let keep: Vec<usize> = (0..level.len())
+            .filter(|&i| !taxonomy.has_internal_ancestor(level.get(i)))
+            .collect();
+        if keep.len() == level.len() {
+            continue;
+        }
+        let mut sets = arm_hashtree::CandidateSet::new(level.k());
+        let mut sups = Vec::with_capacity(keep.len());
+        for i in keep {
+            sets.push(level.get(i));
+            sups.push(level.support(i));
+        }
+        *level = crate::level::FrequentLevel::new(sets, sups);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Support;
+
+    // Classic example: 0=clothes 1=outerwear 2=shirts 3=jacket 4=ski_pants
+    // 5=footwear 6=shoes 7=hiking_boots.
+    fn clothes_taxonomy() -> Taxonomy {
+        let mut t = Taxonomy::new(8);
+        t.add_edge(1, 0).unwrap(); // outerwear -> clothes
+        t.add_edge(2, 0).unwrap(); // shirts -> clothes
+        t.add_edge(3, 1).unwrap(); // jacket -> outerwear
+        t.add_edge(4, 1).unwrap(); // ski pants -> outerwear
+        t.add_edge(6, 5).unwrap(); // shoes -> footwear
+        t.add_edge(7, 5).unwrap(); // hiking boots -> footwear
+        t
+    }
+
+    #[test]
+    fn ancestors_and_relations() {
+        let t = clothes_taxonomy();
+        assert_eq!(t.ancestors(3), vec![1, 0]);
+        assert_eq!(t.ancestors(0), Vec::<Item>::new());
+        assert!(t.is_ancestor(0, 3));
+        assert!(t.is_ancestor(1, 4));
+        assert!(!t.is_ancestor(3, 1));
+        assert!(!t.is_ancestor(5, 3));
+        assert_eq!(t.parent(6), Some(5));
+    }
+
+    #[test]
+    fn edge_validation() {
+        let mut t = clothes_taxonomy();
+        assert_eq!(t.add_edge(9, 0), Err(TaxonomyError::OutOfRange(9)));
+        assert_eq!(t.add_edge(0, 9), Err(TaxonomyError::OutOfRange(9)));
+        assert_eq!(t.add_edge(3, 5), Err(TaxonomyError::Reparented(3)));
+        assert_eq!(t.add_edge(0, 3), Err(TaxonomyError::Cycle(0)));
+        assert_eq!(t.add_edge(0, 0), Err(TaxonomyError::Cycle(0)));
+    }
+
+    #[test]
+    fn database_extension_adds_ancestors() {
+        let t = clothes_taxonomy();
+        let db = Database::from_transactions(8, [vec![3u32, 6]]).unwrap();
+        let ext = t.extend_database(&db);
+        // jacket, shoes + outerwear, clothes, footwear.
+        assert_eq!(ext.transaction(0), &[0, 1, 3, 5, 6]);
+    }
+
+    #[test]
+    fn generalized_rule_emerges_above_leaf_level() {
+        // Jackets co-occur with hiking boots, ski pants with shoes:
+        // neither leaf pair is frequent enough alone, but
+        // (outerwear, footwear) is.
+        let mut txns = Vec::new();
+        for _ in 0..3 {
+            txns.push(vec![3u32, 7]); // jacket + hiking boots
+            txns.push(vec![4u32, 6]); // ski pants + shoes
+        }
+        txns.push(vec![2]); // a lone shirt
+        let db = Database::from_transactions(8, txns).unwrap();
+        let t = clothes_taxonomy();
+        let cfg = AprioriConfig {
+            min_support: Support::Absolute(5),
+            leaf_threshold: 2,
+            ..AprioriConfig::default()
+        };
+        let plain = mine(&db, &cfg);
+        assert_eq!(plain.support_of(&[1, 5]), None, "leaf mining can't see it");
+        let gen = mine_generalized(&db, &t, &cfg);
+        assert_eq!(gen.support_of(&[1, 5]), Some(6), "outerwear+footwear");
+        assert_eq!(gen.support_of(&[0]), Some(7), "clothes in every basket");
+    }
+
+    #[test]
+    fn redundant_ancestor_itemsets_are_pruned() {
+        let t = clothes_taxonomy();
+        let db = Database::from_transactions(
+            8,
+            std::iter::repeat_n(vec![3u32, 6], 4),
+        )
+        .unwrap();
+        let cfg = AprioriConfig {
+            min_support: Support::Absolute(4),
+            leaf_threshold: 2,
+            ..AprioriConfig::default()
+        };
+        let gen = mine_generalized(&db, &t, &cfg);
+        for (items, _) in gen.all_itemsets() {
+            assert!(
+                !t.has_internal_ancestor(&items),
+                "redundant itemset {items:?} survived"
+            );
+        }
+        // (jacket, outerwear) pruned; (jacket, footwear) kept.
+        assert_eq!(gen.support_of(&[1, 3]), None);
+        assert_eq!(gen.support_of(&[3, 5]), Some(4));
+    }
+
+    #[test]
+    fn flat_taxonomy_is_identity() {
+        let t = Taxonomy::new(8);
+        let db = Database::from_transactions(8, [vec![1u32, 3], vec![1, 3], vec![2]]).unwrap();
+        let cfg = AprioriConfig {
+            min_support: Support::Absolute(2),
+            leaf_threshold: 2,
+            ..AprioriConfig::default()
+        };
+        assert_eq!(
+            mine_generalized(&db, &t, &cfg).all_itemsets(),
+            mine(&db, &cfg).all_itemsets()
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Transaction database substrate for association mining.
+//!
+//! This crate provides the representation of basket data used throughout the
+//! workspace: [`Item`] identifiers, transactions stored in a cache-friendly
+//! CSR ([`Database`]) layout, database partitioning for parallel mining
+//! ([`partition`]), dataset statistics (Table 2 of the paper, [`stats`]), and
+//! a compact binary + text on-disk format ([`io`]).
+//!
+//! The paper mines the IBM Quest synthetic datasets `T{T}.I{I}.D{D}` with
+//! `N = 1000` items; transactions are sets of items (sorted, duplicate-free).
+
+pub mod database;
+pub mod io;
+pub mod partition;
+pub mod stats;
+
+pub use database::{Database, DatabaseBuilder, TransactionIter};
+pub use partition::{block_ranges, txn_weight, weighted_ranges, weighted_ranges_for_k};
+pub use stats::DatasetStats;
+
+/// An item identifier. The paper labels the `N` distinct items
+/// `0 .. N-1` in lexicographic order; all hash functions and equivalence
+/// classes operate on these dense labels.
+pub type Item = u32;
+
+/// A transaction identifier (its index within the [`Database`]).
+pub type Tid = u32;

@@ -1,0 +1,88 @@
+//! Dataset property reporting (Table 2 of the paper).
+
+use crate::Database;
+
+/// Summary statistics of a database, matching the columns of Table 2:
+/// average transaction size `T`, maximal-pattern size `I` (a generator
+/// parameter, carried through for labelling), transaction count `D`, and the
+/// total size of the raw data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Canonical name, e.g. `T10.I4.D100K`.
+    pub name: String,
+    /// Mean transaction length (measured).
+    pub avg_txn_len: f64,
+    /// Longest transaction (measured).
+    pub max_txn_len: usize,
+    /// Number of transactions.
+    pub n_txns: usize,
+    /// Number of distinct items the database draws from.
+    pub n_items: u32,
+    /// Number of distinct items that actually occur.
+    pub distinct_items_used: usize,
+    /// Total raw size in bytes (CSR arrays).
+    pub total_bytes: usize,
+}
+
+impl DatasetStats {
+    /// Measures `db`, labelling it `name`.
+    pub fn measure(name: impl Into<String>, db: &Database) -> Self {
+        let mut seen = vec![false; db.n_items() as usize];
+        for t in db {
+            for &i in t {
+                seen[i as usize] = true;
+            }
+        }
+        DatasetStats {
+            name: name.into(),
+            avg_txn_len: db.avg_len(),
+            max_txn_len: db.max_len(),
+            n_txns: db.len(),
+            n_items: db.n_items(),
+            distinct_items_used: seen.iter().filter(|&&b| b).count(),
+            total_bytes: db.size_bytes(),
+        }
+    }
+
+    /// Size in megabytes (Table 2 reports MB).
+    pub fn total_mb(&self) -> f64 {
+        self.total_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Formats the canonical dataset name used throughout the paper.
+    pub fn dataset_name(t: usize, i: usize, d: usize) -> String {
+        let d_label = if d.is_multiple_of(1_000_000) && d >= 1_000_000 {
+            format!("{}M", d / 1_000_000)
+        } else if d.is_multiple_of(1000) && d >= 1000 {
+            format!("{}K", d / 1000)
+        } else {
+            d.to_string()
+        };
+        format!("T{t}.I{i}.D{d_label}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Database;
+
+    #[test]
+    fn measures_basic_stats() {
+        let db =
+            Database::from_transactions(10, [vec![1u32, 2, 3], vec![2, 3], vec![9]]).unwrap();
+        let s = DatasetStats::measure("toy", &db);
+        assert_eq!(s.n_txns, 3);
+        assert_eq!(s.max_txn_len, 3);
+        assert_eq!(s.distinct_items_used, 4);
+        assert!((s.avg_txn_len - 2.0).abs() < 1e-12);
+        assert_eq!(s.total_bytes, db.size_bytes());
+    }
+
+    #[test]
+    fn names_match_paper_convention() {
+        assert_eq!(DatasetStats::dataset_name(10, 4, 100_000), "T10.I4.D100K");
+        assert_eq!(DatasetStats::dataset_name(10, 6, 3_200_000), "T10.I6.D3200K");
+        assert_eq!(DatasetStats::dataset_name(5, 2, 500), "T5.I2.D500");
+    }
+}

@@ -1,0 +1,389 @@
+//! Concurrent candidate hash-tree construction (§2.1.1, §3.1.4).
+//!
+//! The builder supports the paper's parallel tree formation: every
+//! processor inserts candidates concurrently, locking only the leaf it
+//! lands on. Leaf-to-internal conversion happens under that leaf's lock;
+//! descending threads that race with a conversion re-check the node state
+//! after acquiring the lock and continue downwards.
+//!
+//! Nodes live in an append-only [`StableVec`], so threads can traverse
+//! existing nodes lock-free while new nodes are created. Empty hash-table
+//! slots are filled lazily with a CAS; a losing CAS simply orphans the
+//! freshly pushed node (freezing walks only reachable nodes).
+
+use crate::candidates::CandidateSet;
+use arm_balance::HashFn;
+use arm_mem::StableVec;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+const STATE_LEAF: u8 = 0;
+const STATE_INTERNAL: u8 = 1;
+
+pub(crate) struct BuildNode {
+    /// `STATE_LEAF` or `STATE_INTERNAL`. Stored with `Release` after the
+    /// children table is published; read with `Acquire`.
+    state: AtomicU8,
+    /// Child table (`index + 1`, `0` = empty). Present once internal.
+    children: OnceLock<Box<[AtomicU32]>>,
+    /// Depth of this node (root = 0); a node at depth `d` routes on item
+    /// `d` of an itemset.
+    depth: u8,
+    /// Candidate ids stored here while the node is a leaf.
+    entries: Mutex<Vec<u32>>,
+}
+
+impl BuildNode {
+    fn leaf(depth: u8) -> Self {
+        BuildNode {
+            state: AtomicU8::new(STATE_LEAF),
+            children: OnceLock::new(),
+            depth,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    #[inline]
+    fn is_internal(&self) -> bool {
+        self.state.load(Ordering::Acquire) == STATE_INTERNAL
+    }
+}
+
+/// A shared, concurrently insertable candidate hash tree. Freeze it with
+/// [`crate::freeze::freeze_policy`] to obtain the compact counting structure.
+pub struct TreeBuilder<'a, F: HashFn> {
+    pub(crate) nodes: StableVec<BuildNode>,
+    pub(crate) cands: &'a CandidateSet,
+    pub(crate) hash: &'a F,
+    /// Leaf split threshold (the paper's `T`): a leaf at splittable depth
+    /// holding more than this many itemsets converts to an internal node.
+    pub(crate) threshold: usize,
+}
+
+impl<'a, F: HashFn> TreeBuilder<'a, F> {
+    /// Creates a builder over `cands` using hash function `hash` and leaf
+    /// threshold `threshold` (≥ 1).
+    pub fn new(cands: &'a CandidateSet, hash: &'a F, threshold: usize) -> Self {
+        assert!(threshold >= 1, "leaf threshold must be at least 1");
+        let nodes = StableVec::new();
+        nodes.push(BuildNode::leaf(0));
+        TreeBuilder {
+            nodes,
+            cands,
+            hash,
+            threshold,
+        }
+    }
+
+    /// Inserts candidate `id`. Callable concurrently from many threads.
+    pub fn insert(&self, id: u32) {
+        let items = self.cands.get(id);
+        let k = items.len();
+        let mut node_idx = 0usize;
+        loop {
+            let node = self.nodes.index(node_idx);
+            let depth = node.depth as usize;
+            if node.is_internal() {
+                let children = node
+                    .children
+                    .get()
+                    .expect("internal node must have children");
+                let cell = self.hash.hash(items[depth]) as usize;
+                node_idx = self.child_or_create(children, cell, depth + 1);
+                continue;
+            }
+            // Leaf path: lock, then re-check state (a racing conversion may
+            // have completed while we waited on the lock).
+            let mut entries = node.entries.lock();
+            if node.is_internal() {
+                drop(entries);
+                continue;
+            }
+            entries.push(id);
+            if entries.len() > self.threshold && depth < k {
+                self.convert(node, &mut entries);
+            }
+            return;
+        }
+    }
+
+    /// Inserts every candidate (sequential convenience).
+    pub fn insert_all(&self) {
+        for id in 0..self.cands.len() as u32 {
+            self.insert(id);
+        }
+    }
+
+    /// Returns an existing child in `cell`, or pushes a fresh leaf and
+    /// publishes it with a CAS (losers use the winner's node).
+    fn child_or_create(&self, children: &[AtomicU32], cell: usize, depth: usize) -> usize {
+        let cur = children[cell].load(Ordering::Acquire);
+        if cur != 0 {
+            return (cur - 1) as usize;
+        }
+        let fresh = self.nodes.push(BuildNode::leaf(depth as u8)) as u32;
+        match children[cell].compare_exchange(
+            0,
+            fresh + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => fresh as usize,
+            Err(winner) => (winner - 1) as usize, // fresh node is orphaned
+        }
+    }
+
+    /// Converts a leaf (whose `entries` lock is held) into an internal
+    /// node, redistributing entries one level down. Cascades while a child
+    /// still exceeds the threshold and can split.
+    fn convert(&self, node: &BuildNode, entries: &mut Vec<u32>) {
+        let depth = node.depth as usize;
+        let h = self.hash.fanout() as usize;
+        let children: Box<[AtomicU32]> = (0..h).map(|_| AtomicU32::new(0)).collect();
+
+        for &id in entries.iter() {
+            let item = self.cands.get(id)[depth];
+            let cell = self.hash.hash(item) as usize;
+            let child_idx = self.child_or_create(&children, cell, depth + 1);
+            let child = self.nodes.index(child_idx);
+            let mut child_entries = child.entries.lock();
+            child_entries.push(id);
+            let child_depth = child.depth as usize;
+            if child_entries.len() > self.threshold && child_depth < self.cands.k() as usize {
+                self.convert(child, &mut child_entries);
+            }
+        }
+        entries.clear();
+        entries.shrink_to_fit();
+        // Publish children before flipping the state so descending threads
+        // that observe INTERNAL always find the table.
+        node.children
+            .set(children)
+            .unwrap_or_else(|_| panic!("leaf converted twice"));
+        node.state.store(STATE_INTERNAL, Ordering::Release);
+    }
+
+    /// Number of nodes created (including conversion orphans).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of candidates this builder covers.
+    pub fn n_candidates(&self) -> usize {
+        self.cands.len()
+    }
+
+    /// Walks the reachable tree, returning `(reachable_node_indices,
+    /// max_leaf_entries, leaf_count)`. Used by freezing and tests.
+    pub(crate) fn reachable(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![0usize];
+        while let Some(idx) = stack.pop() {
+            out.push(idx);
+            let node = self.nodes.index(idx);
+            if node.is_internal() {
+                let children = node.children.get().unwrap();
+                // Push in reverse so DFS emission visits cell 0 first.
+                for cell in (0..children.len()).rev() {
+                    let c = children[cell].load(Ordering::Acquire);
+                    if c != 0 {
+                        stack.push((c - 1) as usize);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub(crate) fn node(&self, idx: usize) -> NodeView {
+        let node = self.nodes.index(idx);
+        if node.is_internal() {
+            let children = node.children.get().unwrap();
+            NodeView::Internal {
+                depth: node.depth,
+                children: children
+                    .iter()
+                    .map(|c| {
+                        let v = c.load(Ordering::Acquire);
+                        (v != 0).then(|| (v - 1) as usize)
+                    })
+                    .collect(),
+            }
+        } else {
+            NodeView::Leaf {
+                depth: node.depth,
+                entries: node.entries.lock().clone(),
+            }
+        }
+    }
+}
+
+/// A read-only snapshot of one builder node (freeze/test interface).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum NodeView {
+    Internal {
+        depth: u8,
+        children: Vec<Option<usize>>,
+    },
+    Leaf {
+        depth: u8,
+        entries: Vec<u32>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm_balance::ModHash;
+
+    fn cands(k: u32, sets: &[&[u32]]) -> CandidateSet {
+        let mut c = CandidateSet::new(k);
+        for s in sets {
+            c.push(s);
+        }
+        c
+    }
+
+    fn collect_leaf_entries<F: HashFn>(b: &TreeBuilder<'_, F>) -> Vec<u32> {
+        let mut all = Vec::new();
+        for idx in b.reachable() {
+            if let NodeView::Leaf { entries, .. } = b.node(idx) {
+                all.extend(entries);
+            }
+        }
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn single_leaf_under_threshold() {
+        let c = cands(2, &[&[0, 1], &[0, 2], &[1, 3]]);
+        let h = ModHash::new(2);
+        let b = TreeBuilder::new(&c, &h, 4);
+        b.insert_all();
+        assert_eq!(b.node_count(), 1);
+        assert_eq!(collect_leaf_entries(&b), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn splits_when_threshold_exceeded() {
+        let c = cands(2, &[&[0, 1], &[0, 2], &[1, 2], &[1, 3], &[2, 3]]);
+        let h = ModHash::new(2);
+        let b = TreeBuilder::new(&c, &h, 2);
+        b.insert_all();
+        // Root must have converted.
+        assert!(matches!(b.node(0), NodeView::Internal { .. }));
+        assert_eq!(collect_leaf_entries(&b), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn routing_follows_hash_of_depth_item() {
+        let c = cands(2, &[&[0, 2], &[1, 3], &[2, 4]]);
+        let h = ModHash::new(2);
+        let b = TreeBuilder::new(&c, &h, 1);
+        b.insert_all();
+        // Root splits on item[0] mod 2: {0,2} -> cell 0, {1,3} -> cell 1,
+        // {2,4} -> cell 0 again.
+        let NodeView::Internal { children, .. } = b.node(0) else {
+            panic!("root should be internal");
+        };
+        let left = children[0].expect("cell 0 populated");
+        let right = children[1].expect("cell 1 populated");
+        // Cell 0 received 2 entries (> threshold 1) and split again on
+        // item[1]: 2 -> cell 0, 4 -> cell 0 ... both even -> same cell,
+        // leaf at depth 2 == k cannot split further.
+        match b.node(left) {
+            NodeView::Internal { children, .. } => {
+                let grand = children[0].expect("even second items");
+                match b.node(grand) {
+                    NodeView::Leaf { entries, depth } => {
+                        assert_eq!(depth, 2);
+                        let mut e = entries.clone();
+                        e.sort_unstable();
+                        assert_eq!(e, vec![0, 2]);
+                    }
+                    v => panic!("expected leaf, got {v:?}"),
+                }
+            }
+            v => panic!("expected internal, got {v:?}"),
+        }
+        match b.node(right) {
+            NodeView::Leaf { entries, .. } => assert_eq!(entries, vec![1]),
+            v => panic!("expected leaf, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_leaf_may_exceed_threshold() {
+        // All candidates identical under the hash at every level: the leaf
+        // at depth k holds them all and cannot split.
+        let c = cands(2, &[&[0, 2], &[0, 4], &[2, 4], &[2, 6], &[4, 6]]);
+        let h = ModHash::new(2);
+        let b = TreeBuilder::new(&c, &h, 1);
+        b.insert_all();
+        let mut max_depth = 0;
+        for idx in b.reachable() {
+            if let NodeView::Leaf { depth, entries } = b.node(idx) {
+                max_depth = max_depth.max(depth);
+                if depth == 2 {
+                    assert!(entries.len() > 1);
+                }
+            }
+        }
+        assert_eq!(max_depth, 2);
+        assert_eq!(collect_leaf_entries(&b), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_insert_preserves_all_entries() {
+        // Many random-ish candidates, inserted from 4 threads.
+        let mut sets: Vec<Vec<u32>> = Vec::new();
+        for a in 0..20u32 {
+            for b in (a + 1)..20 {
+                for c in (b + 1)..20 {
+                    if (a + b + c) % 3 == 0 {
+                        sets.push(vec![a, b, c]);
+                    }
+                }
+            }
+        }
+        let mut cs = CandidateSet::new(3);
+        for s in &sets {
+            cs.push(s);
+        }
+        let h = ModHash::new(3);
+        let b = TreeBuilder::new(&cs, &h, 3);
+        let n = cs.len() as u32;
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let b = &b;
+                scope.spawn(move || {
+                    let mut id = t;
+                    while id < n {
+                        b.insert(id);
+                        id += 4;
+                    }
+                });
+            }
+        });
+        let all = collect_leaf_entries(&b);
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reachable_excludes_orphans() {
+        let c = cands(2, &[&[0, 1], &[2, 3], &[4, 5], &[6, 7]]);
+        let h = ModHash::new(4);
+        let b = TreeBuilder::new(&c, &h, 1);
+        b.insert_all();
+        // All reachable nodes, no duplicates.
+        let r = b.reachable();
+        let mut sorted = r.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), r.len());
+        assert!(r.len() <= b.node_count());
+        assert_eq!(r[0], 0, "DFS starts at root");
+    }
+}

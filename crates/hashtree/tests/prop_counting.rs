@@ -1,0 +1,209 @@
+//! Property tests: the hash-tree counting kernel must agree with naive
+//! subset counting for every placement policy, hash function, visited
+//! mode, and short-circuit setting, over arbitrary candidate sets and
+//! databases.
+
+use arm_balance::{BitonicHash, HashFn, ModHash};
+use arm_dataset::Database;
+use arm_hashtree::{
+    freeze_policy, naive_counts, CandidateSet, CountOptions, CountScratch, CounterRef,
+    PlacementPolicy, TreeBuilder, VisitedMode, WorkMeter,
+};
+use proptest::collection::{btree_set, vec};
+use proptest::prelude::*;
+
+const N_ITEMS: u32 = 14;
+
+/// Strategy: a set of distinct sorted k-itemsets.
+fn candidates(k: usize) -> impl Strategy<Value = CandidateSet> {
+    btree_set(btree_set(0..N_ITEMS, k), 0..25).prop_map(move |sets| {
+        let mut c = CandidateSet::new(k as u32);
+        for s in sets {
+            let items: Vec<u32> = s.into_iter().collect();
+            c.push(&items);
+        }
+        c
+    })
+}
+
+fn database() -> impl Strategy<Value = Database> {
+    vec(vec(0..N_ITEMS, 0..10), 0..30)
+        .prop_map(|txns| Database::from_transactions(N_ITEMS, txns).unwrap())
+}
+
+fn count_with(
+    cands: &CandidateSet,
+    db: &Database,
+    hash: &dyn HashFn,
+    policy: PlacementPolicy,
+    threshold: usize,
+    opts: CountOptions,
+) -> Vec<u32> {
+    struct Dyn<'a>(&'a dyn HashFn);
+    impl HashFn for Dyn<'_> {
+        fn hash(&self, i: u32) -> u32 {
+            self.0.hash(i)
+        }
+        fn fanout(&self) -> u32 {
+            self.0.fanout()
+        }
+    }
+    let hash = Dyn(hash);
+    let b = TreeBuilder::new(cands, &hash, threshold);
+    b.insert_all();
+    let tree = freeze_policy(&b, policy);
+    let mut scratch = CountScratch::new(N_ITEMS, tree.n_nodes());
+    let mut meter = WorkMeter::default();
+    if tree.counters_inline() {
+        tree.count_partition(
+            &hash,
+            db,
+            0..db.len(),
+            &mut scratch,
+            &mut CounterRef::Inline,
+            opts,
+            &mut meter,
+        );
+        tree.inline_counts()
+    } else {
+        let shared = arm_mem::FlatCounters::new(cands.len());
+        tree.count_partition(
+            &hash,
+            db,
+            0..db.len(),
+            &mut scratch,
+            &mut CounterRef::Shared(&shared),
+            opts,
+            &mut meter,
+        );
+        shared.snapshot()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn counting_matches_naive(
+        cands in candidates(3),
+        db in database(),
+        policy_ix in 0usize..8,
+        fanout in 2u32..6,
+        threshold in 1usize..5,
+        bitonic in any::<bool>(),
+        short_circuit in any::<bool>(),
+        level_path in any::<bool>(),
+    ) {
+        let expected = naive_counts(&cands, &db);
+        let hash: Box<dyn HashFn> = if bitonic {
+            Box::new(BitonicHash::new(fanout))
+        } else {
+            Box::new(ModHash::new(fanout))
+        };
+        let opts = CountOptions {
+            short_circuit,
+            visited: if level_path { VisitedMode::LevelPath } else { VisitedMode::PerNode },
+        };
+        let got = count_with(
+            &cands,
+            &db,
+            hash.as_ref(),
+            PlacementPolicy::ALL[policy_ix],
+            threshold,
+            opts,
+        );
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn counting_matches_naive_k2(
+        cands in candidates(2),
+        db in database(),
+        fanout in 2u32..8,
+    ) {
+        let expected = naive_counts(&cands, &db);
+        let hash = ModHash::new(fanout);
+        let got = count_with(
+            &cands,
+            &db,
+            &hash,
+            PlacementPolicy::Spp,
+            2,
+            CountOptions::default(),
+        );
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Parallel insertion produces the same frozen image counts as
+    /// sequential insertion.
+    #[test]
+    fn parallel_build_equivalent(
+        cands in candidates(3),
+        db in database(),
+    ) {
+        prop_assume!(cands.len() >= 2);
+        let hash = ModHash::new(3);
+        let seq = TreeBuilder::new(&cands, &hash, 2);
+        seq.insert_all();
+        let par = TreeBuilder::new(&cands, &hash, 2);
+        std::thread::scope(|s| {
+            for t in 0..3u32 {
+                let par = &par;
+                let n = cands.len() as u32;
+                s.spawn(move || {
+                    let mut id = t;
+                    while id < n {
+                        par.insert(id);
+                        id += 3;
+                    }
+                });
+            }
+        });
+        let count = |b: &TreeBuilder<'_, ModHash>| {
+            let tree = freeze_policy(b, PlacementPolicy::Gpp);
+            let mut scratch = CountScratch::new(N_ITEMS, tree.n_nodes());
+            let mut meter = WorkMeter::default();
+            tree.count_partition(
+                &hash,
+                &db,
+                0..db.len(),
+                &mut scratch,
+                &mut CounterRef::Inline,
+                CountOptions::default(),
+                &mut meter,
+            );
+            tree.inline_counts()
+        };
+        prop_assert_eq!(count(&seq), count(&par));
+    }
+
+    /// Short-circuiting never changes counts, only the visit tally.
+    #[test]
+    fn short_circuit_only_saves_work(
+        cands in candidates(3),
+        db in database(),
+    ) {
+        let hash = ModHash::new(3);
+        let run = |sc: bool| {
+            let b = TreeBuilder::new(&cands, &hash, 2);
+            b.insert_all();
+            let tree = freeze_policy(&b, PlacementPolicy::Spp);
+            let mut scratch = CountScratch::new(N_ITEMS, tree.n_nodes());
+            let mut meter = WorkMeter::default();
+            tree.count_partition(
+                &hash,
+                &db,
+                0..db.len(),
+                &mut scratch,
+                &mut CounterRef::Inline,
+                CountOptions { short_circuit: sc, ..CountOptions::default() },
+                &mut meter,
+            );
+            (tree.inline_counts(), meter.node_visits)
+        };
+        let (counts_off, visits_off) = run(false);
+        let (counts_on, visits_on) = run(true);
+        prop_assert_eq!(counts_off, counts_on);
+        prop_assert!(visits_on <= visits_off);
+    }
+}

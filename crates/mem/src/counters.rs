@@ -1,0 +1,254 @@
+//! Support-counter placement schemes (§5.2 of the paper).
+//!
+//! During support counting every hit on a candidate increments its counter.
+//! Where those counters live determines both locality and false sharing:
+//!
+//! * **inline** — the counter word sits inside the candidate's itemset block
+//!   (handled by the hash tree itself via [`crate::WordStore::fetch_add`]);
+//!   read-only itemset data shares cache lines with read-write counters,
+//!   the paper's worst case;
+//! * [`FlatCounters`] — a dense shared array segregated from the read-only
+//!   tree (the paper's "segregate read-only data" / `L-*` schemes);
+//! * [`PaddedCounters`] — one cache line per counter (the paper's rejected
+//!   *padding and aligning* scheme; kept as an ablation: no false sharing,
+//!   terrible footprint and locality);
+//! * [`LocalCounters`] — per-thread private arrays plus a sum-reduction (the
+//!   paper's *privatization* / local counter array scheme, used by
+//!   `LCA-GPP`): no synchronization, no false sharing.
+
+use crate::CacheAligned;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Common interface for shared (cross-thread) counter arrays.
+pub trait SharedCounters: Sync + Send {
+    /// Atomically increments counter `id`.
+    fn increment(&self, id: u32);
+    /// Reads counter `id`.
+    fn get(&self, id: u32) -> u32;
+    /// Number of counters.
+    fn len(&self) -> usize;
+    /// True when there are no counters.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Memory footprint in bytes.
+    fn footprint_bytes(&self) -> usize;
+}
+
+/// Dense `AtomicU32` array — counters segregated from read-only data but
+/// packed together (16 counters per cache line ⇒ residual false sharing
+/// *among counters*, none against the tree).
+pub struct FlatCounters {
+    slots: Box<[AtomicU32]>,
+}
+
+impl FlatCounters {
+    /// Allocates `n` zeroed counters.
+    pub fn new(n: usize) -> Self {
+        FlatCounters {
+            slots: (0..n).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Snapshot of all counts.
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+impl SharedCounters for FlatCounters {
+    #[inline(always)]
+    fn increment(&self, id: u32) {
+        self.slots[id as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    fn get(&self, id: u32) -> u32 {
+        self.slots[id as usize].load(Ordering::Relaxed)
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.slots.len() * 4
+    }
+}
+
+/// One cache line per counter — the paper's padding scheme, which removes
+/// all false sharing at a 16x memory cost ("unacceptable memory space
+/// overhead and, more importantly, a significant loss in locality").
+pub struct PaddedCounters {
+    slots: Box<[CacheAligned<AtomicU32>]>,
+}
+
+impl PaddedCounters {
+    /// Allocates `n` zeroed, line-aligned counters.
+    pub fn new(n: usize) -> Self {
+        PaddedCounters {
+            slots: (0..n)
+                .map(|_| CacheAligned::new(AtomicU32::new(0)))
+                .collect(),
+        }
+    }
+}
+
+impl SharedCounters for PaddedCounters {
+    #[inline(always)]
+    fn increment(&self, id: u32) {
+        self.slots[id as usize].0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    fn get(&self, id: u32) -> u32 {
+        self.slots[id as usize].0.load(Ordering::Relaxed)
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.slots.len() * 64
+    }
+}
+
+/// A thread-private counter array. Increments are plain (non-atomic) adds;
+/// after the counting phase, arrays are merged with [`reduce`].
+#[derive(Debug, Clone)]
+pub struct LocalCounters {
+    slots: Vec<u32>,
+}
+
+impl LocalCounters {
+    /// Allocates `n` zeroed private counters.
+    pub fn new(n: usize) -> Self {
+        LocalCounters {
+            slots: vec![0; n],
+        }
+    }
+
+    /// Increments counter `id` (no synchronization: the array is private).
+    #[inline(always)]
+    pub fn increment(&mut self, id: u32) {
+        self.slots[id as usize] += 1;
+    }
+
+    /// Reads counter `id`.
+    #[inline]
+    pub fn get(&self, id: u32) -> u32 {
+        self.slots[id as usize]
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when there are no counters.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Raw slots (for reduction).
+    pub fn slots(&self) -> &[u32] {
+        &self.slots
+    }
+}
+
+/// The paper's global sum-reduction over per-processor local counter
+/// arrays. Panics if the arrays disagree in length.
+pub fn reduce(locals: &[LocalCounters]) -> Vec<u32> {
+    let Some(first) = locals.first() else {
+        return Vec::new();
+    };
+    let n = first.len();
+    let mut out = vec![0u32; n];
+    for l in locals {
+        assert_eq!(l.len(), n, "local counter arrays must be uniform");
+        for (o, &v) in out.iter_mut().zip(l.slots()) {
+            *o += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn check_shared(c: Arc<dyn SharedCounters>) {
+        assert_eq!(c.len(), 8);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..8_000u32 {
+                        c.increment(i % 8);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(c.get(i), 4_000);
+        }
+    }
+
+    #[test]
+    fn flat_counters_concurrent_exact() {
+        check_shared(Arc::new(FlatCounters::new(8)));
+    }
+
+    #[test]
+    fn padded_counters_concurrent_exact() {
+        check_shared(Arc::new(PaddedCounters::new(8)));
+    }
+
+    #[test]
+    fn padded_footprint_is_line_per_counter() {
+        let p = PaddedCounters::new(10);
+        assert_eq!(p.footprint_bytes(), 640);
+        let f = FlatCounters::new(10);
+        assert_eq!(f.footprint_bytes(), 40);
+    }
+
+    #[test]
+    fn local_counters_reduce() {
+        let mut a = LocalCounters::new(4);
+        let mut b = LocalCounters::new(4);
+        a.increment(0);
+        a.increment(0);
+        a.increment(3);
+        b.increment(3);
+        b.increment(1);
+        assert_eq!(reduce(&[a, b]), vec![2, 1, 0, 2]);
+    }
+
+    #[test]
+    fn reduce_empty_is_empty() {
+        assert!(reduce(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform")]
+    fn reduce_rejects_mismatched_lengths() {
+        reduce(&[LocalCounters::new(2), LocalCounters::new(3)]);
+    }
+
+    #[test]
+    fn flat_snapshot() {
+        let f = FlatCounters::new(3);
+        f.increment(1);
+        f.increment(1);
+        assert_eq!(f.snapshot(), vec![0, 2, 0]);
+        assert!(!f.is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! An append-only, chunked arena with lock-free reads and stable addresses.
+//!
+//! The parallel hash-tree build (§3.1.4 of the paper) creates nodes while
+//! other threads are descending through existing nodes. `Vec<T>` cannot be
+//! used for this (growth moves elements); a lock around every read would
+//! serialize the build. [`StableVec`] stores elements in geometrically
+//! growing chunks that are never moved or freed until drop, so:
+//!
+//! * `get`/indexed reads are lock-free (`Acquire` load of the length);
+//! * `push` takes a short internal lock (node creation is rare compared to
+//!   node traversal, so this is off the hot path);
+//! * references returned by `get` stay valid for the arena's lifetime.
+//!
+//! # Safety model
+//!
+//! All `unsafe` is confined to this module. Invariants:
+//!
+//! 1. `len` is only increased, and only *after* the slot at `len` has been
+//!    fully initialized (`Release` store; readers `Acquire`-load `len`).
+//! 2. A chunk pointer is published (`Release` store to `chunks[c]`) before
+//!    any index inside it becomes visible through `len`.
+//! 3. Slots `< len` are never written again, so `&T` handed to readers can
+//!    never alias a mutation.
+//! 4. Chunks are deallocated only in `Drop`, which requires `&mut self`.
+
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Base (first-chunk) capacity. Chunk `c` holds `BASE << c` elements, so 26
+/// chunks cover `BASE * (2^26 - 1)` ≈ 4.3e9 elements.
+const BASE_LOG2: u32 = 6;
+const BASE: usize = 1 << BASE_LOG2;
+const CHUNKS: usize = 26;
+
+/// Append-only concurrent arena. See module docs.
+pub struct StableVec<T> {
+    chunks: [AtomicPtr<MaybeUninit<T>>; CHUNKS],
+    len: AtomicUsize,
+    push_lock: Mutex<()>,
+}
+
+// SAFETY: `StableVec` hands out `&T` across threads and moves `T` in via
+// `push`, so both `Send` and `Sync` on `T` are required; with them, the
+// publication protocol above makes the container safe to share.
+unsafe impl<T: Send + Sync> Send for StableVec<T> {}
+unsafe impl<T: Send + Sync> Sync for StableVec<T> {}
+
+/// Maps a global index to `(chunk, offset, chunk_capacity)`.
+#[inline]
+fn locate(index: usize) -> (usize, usize) {
+    // Chunk c spans indices [BASE*(2^c - 1), BASE*(2^(c+1) - 1)).
+    let adjusted = (index >> BASE_LOG2) + 1;
+    let c = (usize::BITS - 1 - adjusted.leading_zeros()) as usize;
+    let chunk_start = BASE * ((1 << c) - 1);
+    (c, index - chunk_start)
+}
+
+#[inline]
+fn chunk_cap(c: usize) -> usize {
+    BASE << c
+}
+
+impl<T> StableVec<T> {
+    /// Creates an empty arena. No allocation happens until the first push.
+    pub fn new() -> Self {
+        StableVec {
+            chunks: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+            len: AtomicUsize::new(0),
+            push_lock: Mutex::new(()),
+        }
+    }
+
+    /// Number of initialized elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when no elements have been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `value`, returning its index. Pushes are serialized by an
+    /// internal lock; reads are never blocked.
+    pub fn push(&self, value: T) -> usize {
+        let _guard = self.push_lock.lock().expect("StableVec push lock poisoned");
+        let i = self.len.load(Ordering::Relaxed);
+        let (c, off) = locate(i);
+        assert!(c < CHUNKS, "StableVec capacity exhausted");
+        let mut chunk = self.chunks[c].load(Ordering::Relaxed);
+        if chunk.is_null() {
+            let boxed: Box<[MaybeUninit<T>]> = (0..chunk_cap(c))
+                .map(|_| MaybeUninit::uninit())
+                .collect();
+            chunk = Box::into_raw(boxed) as *mut MaybeUninit<T>;
+            // Publish the chunk before the new length becomes visible.
+            self.chunks[c].store(chunk, Ordering::Release);
+        }
+        // SAFETY: slot `off` is within the chunk (invariant of `locate`) and
+        // has never been initialized (len has never exceeded `i`).
+        unsafe {
+            (*chunk.add(off)).write(value);
+        }
+        // Release pairs with the Acquire in `len()`/`get()`: the slot write
+        // happens-before any reader that observes `len > i`.
+        self.len.store(i + 1, Ordering::Release);
+        i
+    }
+
+    /// Returns the element at `index`, or `None` past the end. Lock-free.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len() {
+            return None;
+        }
+        let (c, off) = locate(index);
+        let chunk = self.chunks[c].load(Ordering::Acquire);
+        debug_assert!(!chunk.is_null());
+        // SAFETY: index < len implies the slot was initialized and published
+        // (invariants 1-3); initialized slots are never mutated.
+        unsafe { Some((*chunk.add(off)).assume_init_ref()) }
+    }
+
+    /// Indexed access that panics past the end.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // Index::index cannot be used: it must not take locks
+    pub fn index(&self, index: usize) -> &T {
+        self.get(index).expect("StableVec index out of bounds")
+    }
+
+    /// Iterates over all elements pushed before the call.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        let snapshot = self.len();
+        (0..snapshot).map(move |i| self.index(i))
+    }
+}
+
+impl<T> Default for StableVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for StableVec<T> {
+    fn drop(&mut self) {
+        let len = *self.len.get_mut();
+        for c in 0..CHUNKS {
+            let chunk = *self.chunks[c].get_mut();
+            if chunk.is_null() {
+                continue;
+            }
+            let cap = chunk_cap(c);
+            let chunk_start = BASE * ((1 << c) - 1);
+            let init = len.saturating_sub(chunk_start).min(cap);
+            // SAFETY: the first `init` slots of this chunk were initialized;
+            // reconstruct the box to free the allocation.
+            unsafe {
+                for off in 0..init {
+                    (*chunk.add(off)).assume_init_drop();
+                }
+                drop(Box::from_raw(ptr::slice_from_raw_parts_mut(chunk, cap)));
+            }
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for StableVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn locate_is_consistent() {
+        let mut expected_start = 0usize;
+        for c in 0..8 {
+            let cap = chunk_cap(c);
+            assert_eq!(locate(expected_start), (c, 0));
+            assert_eq!(locate(expected_start + cap - 1), (c, cap - 1));
+            expected_start += cap;
+        }
+    }
+
+    #[test]
+    fn push_and_get() {
+        let v = StableVec::new();
+        assert!(v.is_empty());
+        for i in 0..1000usize {
+            assert_eq!(v.push(i * 3), i);
+        }
+        assert_eq!(v.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(*v.index(i), i * 3);
+        }
+        assert_eq!(v.get(1000), None);
+    }
+
+    #[test]
+    fn references_stay_stable_across_growth() {
+        let v = StableVec::new();
+        v.push(42u64);
+        let first = v.index(0) as *const u64;
+        for i in 0..10_000u64 {
+            v.push(i);
+        }
+        // The address of element 0 must not have changed.
+        assert_eq!(first, v.index(0) as *const u64);
+        assert_eq!(*v.index(0), 42);
+    }
+
+    #[test]
+    fn iter_sees_snapshot() {
+        let v = StableVec::new();
+        for i in 0..100 {
+            v.push(i);
+        }
+        let collected: Vec<i32> = v.iter().copied().collect();
+        assert_eq!(collected, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drops_elements_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let v = StableVec::new();
+            for _ in 0..500 {
+                v.push(D);
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 500);
+    }
+
+    #[test]
+    fn concurrent_push_and_read() {
+        let v = Arc::new(StableVec::<usize>::new());
+        let stop = Arc::new(AtomicUsize::new(0));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let v = Arc::clone(&v);
+                std::thread::spawn(move || {
+                    for i in 0..2_000 {
+                        v.push(i);
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let v = Arc::clone(&v);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut checks = 0usize;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let n = v.len();
+                        if n > 0 {
+                            // Every visible element must be fully initialized.
+                            let x = *v.index(n - 1);
+                            assert!(x < 2_000);
+                            checks += 1;
+                        }
+                    }
+                    checks
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(1, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(v.len(), 8_000);
+    }
+
+    #[test]
+    fn debug_format() {
+        let v = StableVec::new();
+        v.push(1);
+        v.push(2);
+        assert_eq!(format!("{v:?}"), "[1, 2]");
+    }
+}

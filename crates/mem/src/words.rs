@@ -1,0 +1,323 @@
+//! Word-block storage backends — the heart of the placement policies.
+//!
+//! The frozen candidate hash tree is a collection of *blocks*, each a short
+//! sequence of `u32` words (a node header plus its hash table, a list of
+//! itemset references, an itemset's items, an inline counter cell). The
+//! paper's placement policies differ only in **where those blocks live**:
+//!
+//! * [`ContiguousStore`]: every block is carved out of one bump-allocated
+//!   region, adjacent in exactly the order the policy emitted them — this is
+//!   the paper's custom placement library (SPP/LPP/GPP depending on emit
+//!   order). A handle is the block's word offset; dereferencing is a single
+//!   indexed load.
+//! * [`ScatterStore`]: every block is its own heap allocation (`Box`), the
+//!   *standard malloc* baseline of the original CCPD code. A handle is an
+//!   index into a pointer table, so every block access chases a pointer into
+//!   allocator-placed memory, with a malloc header between any two blocks.
+//!
+//! All words are stored as `AtomicU32` so that inline support counters can
+//! be incremented concurrently during the counting phase while structure
+//! words are read. `Relaxed` loads of structure words compile to plain
+//! `mov`s on x86-64 and plain `ldr`s on AArch64, so both backends pay zero
+//! synchronization cost for traversal.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Reference to a block inside a [`WordStore`].
+pub type Handle = u32;
+
+/// The distinguished "no block" handle (used for empty hash-table slots).
+pub const NULL_HANDLE: Handle = u32::MAX;
+
+/// Read/update access to frozen tree blocks. Implementations must make
+/// `load`/`fetch_add` safe to call from many threads concurrently.
+pub trait WordStore: Sync + Send {
+    /// Loads word `i` of block `h` (relaxed).
+    fn load(&self, h: Handle, i: u32) -> u32;
+
+    /// Atomically adds `v` to word `i` of block `h` (relaxed), returning the
+    /// previous value. Used for inline support counters.
+    fn fetch_add(&self, h: Handle, i: u32, v: u32) -> u32;
+
+    /// Total words allocated (for the hash-tree-size accounting of Fig. 6).
+    fn total_words(&self) -> usize;
+
+    /// Total bytes occupied including per-block bookkeeping overhead
+    /// (pointer table and malloc headers for the scatter store).
+    fn total_bytes(&self) -> usize;
+}
+
+/// Allocation interface used while freezing a tree. Blocks are allocated in
+/// the order the placement policy dictates; content may be patched
+/// afterwards (children handles become known only once every block has an
+/// address).
+pub trait WordStoreBuilder {
+    /// The store produced by [`WordStoreBuilder::finish`].
+    type Store: WordStore;
+
+    /// Allocates a zero-initialized block of `len` words.
+    fn alloc(&mut self, len: u32) -> Handle;
+
+    /// Writes word `i` of block `h`.
+    fn set(&mut self, h: Handle, i: u32, v: u32);
+
+    /// Reads word `i` of block `h` back (for tests and assertions).
+    fn get(&self, h: Handle, i: u32) -> u32;
+
+    /// Finalizes into an immutable-structure store.
+    fn finish(self) -> Self::Store;
+}
+
+// ---------------------------------------------------------------------------
+// Contiguous (region) backend
+// ---------------------------------------------------------------------------
+
+/// Bump-region builder: blocks are adjacent `u32` runs in emission order.
+#[derive(Debug, Default)]
+pub struct ContiguousBuilder {
+    words: Vec<u32>,
+    blocks: usize,
+}
+
+impl ContiguousBuilder {
+    /// Creates an empty region.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a region with reserved capacity (placement policies know the
+    /// final size up front, making the build a single allocation).
+    pub fn with_capacity(words: usize) -> Self {
+        ContiguousBuilder {
+            words: Vec::with_capacity(words),
+            blocks: 0,
+        }
+    }
+}
+
+impl WordStoreBuilder for ContiguousBuilder {
+    type Store = ContiguousStore;
+
+    fn alloc(&mut self, len: u32) -> Handle {
+        let h = self.words.len();
+        assert!(
+            h + len as usize <= NULL_HANDLE as usize,
+            "region exceeds u32 addressing"
+        );
+        self.words.resize(h + len as usize, 0);
+        self.blocks += 1;
+        h as Handle
+    }
+
+    fn set(&mut self, h: Handle, i: u32, v: u32) {
+        self.words[h as usize + i as usize] = v;
+    }
+
+    fn get(&self, h: Handle, i: u32) -> u32 {
+        self.words[h as usize + i as usize]
+    }
+
+    fn finish(self) -> ContiguousStore {
+        ContiguousStore {
+            words: self.words.into_iter().map(AtomicU32::new).collect(),
+        }
+    }
+}
+
+/// One flat region; a handle is a word offset. See module docs.
+pub struct ContiguousStore {
+    words: Box<[AtomicU32]>,
+}
+
+impl WordStore for ContiguousStore {
+    #[inline(always)]
+    fn load(&self, h: Handle, i: u32) -> u32 {
+        self.words[h as usize + i as usize].load(Ordering::Relaxed)
+    }
+
+    #[inline(always)]
+    fn fetch_add(&self, h: Handle, i: u32, v: u32) -> u32 {
+        self.words[h as usize + i as usize].fetch_add(v, Ordering::Relaxed)
+    }
+
+    fn total_words(&self) -> usize {
+        self.words.len()
+    }
+
+    fn total_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scatter (standard-malloc baseline) backend
+// ---------------------------------------------------------------------------
+
+/// Per-block heap allocation builder (the CCPD standard-malloc baseline).
+#[derive(Debug, Default)]
+pub struct ScatterBuilder {
+    blocks: Vec<Box<[AtomicU32]>>,
+}
+
+impl ScatterBuilder {
+    /// Creates an empty scatter arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WordStoreBuilder for ScatterBuilder {
+    type Store = ScatterStore;
+
+    fn alloc(&mut self, len: u32) -> Handle {
+        let h = self.blocks.len();
+        assert!(h < NULL_HANDLE as usize, "too many scatter blocks");
+        let block: Box<[AtomicU32]> = (0..len).map(|_| AtomicU32::new(0)).collect();
+        self.blocks.push(block);
+        h as Handle
+    }
+
+    fn set(&mut self, h: Handle, i: u32, v: u32) {
+        self.blocks[h as usize][i as usize].store(v, Ordering::Relaxed);
+    }
+
+    fn get(&self, h: Handle, i: u32) -> u32 {
+        self.blocks[h as usize][i as usize].load(Ordering::Relaxed)
+    }
+
+    fn finish(self) -> ScatterStore {
+        ScatterStore {
+            blocks: self.blocks,
+        }
+    }
+}
+
+/// One heap allocation per block; a handle indexes a pointer table.
+pub struct ScatterStore {
+    blocks: Vec<Box<[AtomicU32]>>,
+}
+
+impl WordStore for ScatterStore {
+    #[inline(always)]
+    fn load(&self, h: Handle, i: u32) -> u32 {
+        self.blocks[h as usize][i as usize].load(Ordering::Relaxed)
+    }
+
+    #[inline(always)]
+    fn fetch_add(&self, h: Handle, i: u32, v: u32) -> u32 {
+        self.blocks[h as usize][i as usize].fetch_add(v, Ordering::Relaxed)
+    }
+
+    fn total_words(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    fn total_bytes(&self) -> usize {
+        // Words + fat pointer table entry + typical 16-byte malloc header
+        // per block, mirroring the overhead the paper's custom library
+        // avoids.
+        self.blocks
+            .iter()
+            .map(|b| b.len() * 4 + size_of::<Box<[AtomicU32]>>() + 16)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_builder<B: WordStoreBuilder>(mut b: B) -> B::Store {
+        let h1 = b.alloc(3);
+        let h2 = b.alloc(1);
+        b.set(h1, 0, 10);
+        b.set(h1, 2, 30);
+        b.set(h2, 0, 99);
+        assert_eq!(b.get(h1, 0), 10);
+        assert_eq!(b.get(h1, 1), 0);
+        assert_eq!(b.get(h1, 2), 30);
+        assert_eq!(b.get(h2, 0), 99);
+        b.finish()
+    }
+
+    #[test]
+    fn contiguous_roundtrip() {
+        let s = exercise_builder(ContiguousBuilder::new());
+        assert_eq!(s.load(0, 0), 10);
+        assert_eq!(s.load(0, 2), 30);
+        assert_eq!(s.load(3, 0), 99); // handle = offset in region
+        assert_eq!(s.total_words(), 4);
+        assert_eq!(s.total_bytes(), 16);
+    }
+
+    #[test]
+    fn scatter_roundtrip() {
+        let s = exercise_builder(ScatterBuilder::new());
+        assert_eq!(s.load(0, 0), 10);
+        assert_eq!(s.load(0, 2), 30);
+        assert_eq!(s.load(1, 0), 99); // handle = block index
+        assert_eq!(s.total_words(), 4);
+        assert!(s.total_bytes() > s.total_words() * 4); // bookkeeping overhead
+    }
+
+    #[test]
+    fn contiguous_blocks_are_adjacent() {
+        let mut b = ContiguousBuilder::new();
+        let h1 = b.alloc(2);
+        let h2 = b.alloc(5);
+        let h3 = b.alloc(1);
+        assert_eq!((h1, h2, h3), (0, 2, 7));
+    }
+
+    #[test]
+    fn fetch_add_accumulates() {
+        for store in [
+            {
+                let mut b = ContiguousBuilder::new();
+                b.alloc(1);
+                Box::new(b.finish()) as Box<dyn WordStore>
+            },
+            {
+                let mut b = ScatterBuilder::new();
+                b.alloc(1);
+                Box::new(b.finish()) as Box<dyn WordStore>
+            },
+        ] {
+            assert_eq!(store.fetch_add(0, 0, 5), 0);
+            assert_eq!(store.fetch_add(0, 0, 2), 5);
+            assert_eq!(store.load(0, 0), 7);
+        }
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_exact() {
+        let mut b = ContiguousBuilder::new();
+        b.alloc(4);
+        let s = std::sync::Arc::new(b.finish());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        s.fetch_add(0, t % 4, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u32 = (0..4).map(|i| s.load(0, i)).sum();
+        assert_eq!(total, 40_000);
+    }
+
+    #[test]
+    fn with_capacity_allocs_once() {
+        let mut b = ContiguousBuilder::with_capacity(128);
+        for _ in 0..16 {
+            b.alloc(8);
+        }
+        let s = b.finish();
+        assert_eq!(s.total_words(), 128);
+    }
+}

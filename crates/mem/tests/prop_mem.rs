@@ -1,0 +1,99 @@
+//! Property tests for the memory substrate: the concurrent arena against
+//! a `Vec` model, word stores against a map model, and counter schemes
+//! against plain addition.
+
+use arm_mem::counters::{reduce, LocalCounters};
+use arm_mem::{
+    ContiguousBuilder, FlatCounters, PaddedCounters, ScatterBuilder, SharedCounters, StableVec,
+    WordStore, WordStoreBuilder,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// StableVec behaves exactly like Vec for push/get/iter.
+    #[test]
+    fn stable_vec_models_vec(values in vec(any::<u64>(), 0..300)) {
+        let sv = StableVec::new();
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(sv.push(v), i);
+        }
+        prop_assert_eq!(sv.len(), values.len());
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(*sv.index(i), v);
+        }
+        prop_assert_eq!(sv.get(values.len()), None);
+        let collected: Vec<u64> = sv.iter().copied().collect();
+        prop_assert_eq!(collected, values);
+    }
+
+    /// Both word-store backends implement the same (block, word) map.
+    #[test]
+    fn word_stores_agree(
+        blocks in vec(vec(any::<u32>(), 1..12), 1..40),
+        probes in vec((any::<prop::sample::Index>(), any::<prop::sample::Index>()), 0..50),
+    ) {
+        let mut cb = ContiguousBuilder::new();
+        let mut sb = ScatterBuilder::new();
+        let mut handles = Vec::new();
+        for b in &blocks {
+            let hc = cb.alloc(b.len() as u32);
+            let hs = sb.alloc(b.len() as u32);
+            for (i, &w) in b.iter().enumerate() {
+                cb.set(hc, i as u32, w);
+                sb.set(hs, i as u32, w);
+            }
+            handles.push((hc, hs));
+        }
+        let cs = cb.finish();
+        let ss = sb.finish();
+        prop_assert_eq!(cs.total_words(), ss.total_words());
+        for (bi, wi) in probes {
+            let b = bi.index(blocks.len());
+            let w = wi.index(blocks[b].len()) as u32;
+            let (hc, hs) = handles[b];
+            prop_assert_eq!(cs.load(hc, w), blocks[b][w as usize]);
+            prop_assert_eq!(ss.load(hs, w), blocks[b][w as usize]);
+        }
+    }
+
+    /// Counter schemes all implement plain addition.
+    #[test]
+    fn counters_model_addition(increments in vec(0u32..16, 0..400)) {
+        let n = 16usize;
+        let mut model = vec![0u32; n];
+        let flat = FlatCounters::new(n);
+        let padded = PaddedCounters::new(n);
+        let mut local = LocalCounters::new(n);
+        for &id in &increments {
+            model[id as usize] += 1;
+            flat.increment(id);
+            padded.increment(id);
+            local.increment(id);
+        }
+        for id in 0..n as u32 {
+            prop_assert_eq!(flat.get(id), model[id as usize]);
+            prop_assert_eq!(padded.get(id), model[id as usize]);
+            prop_assert_eq!(local.get(id), model[id as usize]);
+        }
+        prop_assert_eq!(reduce(&[local]), model);
+    }
+
+    /// Splitting increments across per-thread arrays and reducing equals
+    /// a single shared array.
+    #[test]
+    fn reduction_equals_shared(
+        increments in vec((0u32..8, 0usize..4), 0..300),
+    ) {
+        let n = 8usize;
+        let shared = FlatCounters::new(n);
+        let mut locals = vec![LocalCounters::new(n); 4];
+        for &(id, t) in &increments {
+            shared.increment(id);
+            locals[t].increment(id);
+        }
+        prop_assert_eq!(reduce(&locals), shared.snapshot());
+    }
+}

@@ -1,0 +1,476 @@
+//! CCPD — Common Candidate, Partitioned Database (§3.3).
+//!
+//! One shared candidate hash tree; the database is logically split among
+//! the workers. Every phase mirrors the paper:
+//!
+//! * `F_1`: per-thread histograms over database blocks + sum reduction;
+//! * candidate generation: equivalence classes balanced across threads by
+//!   the configured scheme (§3.1.2), with adaptive parallelism (§3.1.3);
+//! * tree build: all threads insert into the shared tree under per-leaf
+//!   locks (§3.1.4);
+//! * freeze: the placement policy's memory image is laid out (GPP's remap);
+//! * support counting: each thread scans its partition against the shared
+//!   tree, with counters inline / segregated / privatized per policy;
+//! * extraction: the master thread selects `F_k`.
+//!
+//! Every phase records wall time and per-thread work for the speedup model
+//! in [`crate::stats`].
+
+use crate::config::{DbPartition, ParallelConfig};
+use crate::stats::{ParallelRunStats, PhaseStat};
+use arm_core::f1::{count_pair_buckets, pair_bucket};
+use arm_core::{
+    adaptive_fanout, class_weight, equivalence_classes, f1_items, frequent_from_counts,
+    generate_class, make_hash, count_singletons, FrequentLevel, IterStats, MiningResult,
+};
+use arm_dataset::{block_ranges, weighted_ranges, weighted_ranges_for_k, Database};
+use arm_hashtree::{
+    freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, TreeBuilder, WorkMeter,
+};
+use arm_mem::counters::reduce;
+use arm_mem::{FlatCounters, LocalCounters};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Runs CCPD, returning the mining result (identical to the sequential
+/// algorithm's) and the run's phase statistics.
+pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunStats) {
+    let run_start = Instant::now();
+    let p = cfg.n_threads.max(1);
+    let min_support = cfg.base.min_support.absolute(db.len());
+    let mut phases: Vec<PhaseStat> = Vec::new();
+    let mut run_meters = vec![WorkMeter::default(); p];
+
+    // ---- F1: parallel histograms ----------------------------------------
+    let t0 = Instant::now();
+    let ranges = block_ranges(db.len(), p);
+    let pair_buckets = cfg.base.pair_filter_buckets;
+    let partials: Vec<(Vec<u32>, Option<Vec<u32>>)> = run_threads(p, |t| {
+        let singles = count_singletons(db, ranges[t].clone());
+        let pairs = pair_buckets.map(|m| count_pair_buckets(db, ranges[t].clone(), m));
+        (singles, pairs)
+    });
+    let f1_work: Vec<u64> = ranges
+        .iter()
+        .map(|r| (db.offsets()[r.end] - db.offsets()[r.start]) as u64)
+        .collect();
+    phases.push(PhaseStat {
+        name: "f1",
+        k: 1,
+        wall: t0.elapsed(),
+        thread_work: Some(f1_work),
+    });
+
+    let t0 = Instant::now();
+    let mut counts = vec![0u32; db.n_items() as usize];
+    let mut pair_table = pair_buckets.map(|m| vec![0u32; m]);
+    for (part, pairs) in &partials {
+        for (c, v) in counts.iter_mut().zip(part) {
+            *c += v;
+        }
+        if let (Some(total), Some(local)) = (pair_table.as_mut(), pairs.as_ref()) {
+            for (t, v) in total.iter_mut().zip(local) {
+                *t += v;
+            }
+        }
+    }
+    let f1 = frequent_from_counts(&counts, min_support);
+    phases.push(PhaseStat {
+        name: "reduce",
+        k: 1,
+        wall: t0.elapsed(),
+        thread_work: None,
+    });
+
+    let f1_item_list = f1_items(&f1);
+    let mut iter_stats = vec![IterStats {
+        k: 1,
+        n_candidates: db.n_items() as usize,
+        n_frequent: f1.len(),
+        fanout: 0,
+        tree_bytes: 0,
+        tree_nodes: 0,
+        join_pairs: 0,
+        meter: WorkMeter::default(),
+    }];
+    let mut levels = vec![f1];
+
+    // ---- Iterations k >= 2 ----------------------------------------------
+    let mut k = 2u32;
+    loop {
+        if cfg.base.max_k.is_some_and(|m| k > m) {
+            break;
+        }
+        let prev = levels.last().unwrap();
+        if prev.len() < 2 {
+            break;
+        }
+
+        // Candidate generation.
+        let t0 = Instant::now();
+        let classes = equivalence_classes(prev);
+        let weights: Vec<u64> = classes.iter().map(class_weight).collect();
+        let (cands, candgen_work, join_pairs) =
+            if p > 1 && prev.len() >= cfg.parallel_candgen_min {
+                parallel_candgen(prev, &classes, &weights, cfg, p)
+            } else {
+                // Adaptive parallelism: not enough frequent itemsets to be
+                // worth forking (§3.1.3).
+                let mut out = CandidateSet::new(k);
+                let mut scratch = Vec::with_capacity(k as usize);
+                let mut pairs = 0u64;
+                for class in &classes {
+                    pairs += generate_class(prev, class.clone(), &mut out, &mut scratch);
+                }
+                let mut work = vec![0u64; p];
+                work[0] = pairs;
+                (out, work, pairs)
+            };
+        let cands = if k == 2 {
+            if let (Some(m), Some(table)) = (pair_buckets, pair_table.as_ref()) {
+                cands.filtered(|_, it| table[pair_bucket(it[0], it[1], m)] >= min_support)
+            } else {
+                cands
+            }
+        } else {
+            cands
+        };
+        phases.push(PhaseStat {
+            name: "candgen",
+            k,
+            wall: t0.elapsed(),
+            thread_work: Some(candgen_work),
+        });
+        if cands.is_empty() {
+            break;
+        }
+        debug_assert!(cands.is_sorted_unique());
+
+        let fanout = if cfg.base.adaptive_fanout {
+            adaptive_fanout(&classes, cfg.base.leaf_threshold, k)
+        } else {
+            cfg.base.fixed_fanout
+        };
+        let hash = make_hash(cfg.base.hash_scheme, fanout, &f1_item_list, db.n_items());
+
+        // Parallel tree build (shared tree, per-leaf locks).
+        let t0 = Instant::now();
+        let builder = TreeBuilder::new(&cands, &hash, cfg.base.leaf_threshold);
+        let cand_ranges = block_ranges(cands.len(), p);
+        run_threads(p, |t| {
+            for id in cand_ranges[t].clone() {
+                builder.insert(id as u32);
+            }
+        });
+        let build_work: Vec<u64> = cand_ranges.iter().map(|r| r.len() as u64).collect();
+        phases.push(PhaseStat {
+            name: "build",
+            k,
+            wall: t0.elapsed(),
+            thread_work: Some(build_work),
+        });
+
+        // Freeze into the placement policy's image (serial, like the
+        // paper's remap).
+        let t0 = Instant::now();
+        let tree = freeze_policy(&builder, cfg.base.placement);
+        phases.push(PhaseStat {
+            name: "freeze",
+            k,
+            wall: t0.elapsed(),
+            thread_work: None,
+        });
+
+        // Parallel support counting.
+        let t0 = Instant::now();
+        let db_ranges: Vec<Range<usize>> = match cfg.db_partition {
+            DbPartition::Block => block_ranges(db.len(), p),
+            DbPartition::WeightedStatic { kmax } => weighted_ranges(db, p, kmax),
+            DbPartition::WeightedPerIteration => weighted_ranges_for_k(db, p, k),
+        };
+        let opts = CountOptions {
+            short_circuit: cfg.base.short_circuit,
+            visited: cfg.base.visited,
+        };
+        let inline = tree.counters_inline();
+        let per_thread = cfg.base.placement.per_thread_counters();
+        let shared = (!inline && !per_thread).then(|| FlatCounters::new(cands.len()));
+
+        let outcomes: Vec<(WorkMeter, Option<LocalCounters>)> = run_threads(p, |t| {
+            let mut scratch = CountScratch::new(db.n_items(), tree.n_nodes());
+            let mut meter = WorkMeter::default();
+            let mut local = per_thread.then(|| LocalCounters::new(cands.len()));
+            {
+                let mut cref = if inline {
+                    CounterRef::Inline
+                } else if let Some(l) = local.as_mut() {
+                    CounterRef::Local(l)
+                } else {
+                    CounterRef::Shared(shared.as_ref().unwrap())
+                };
+                tree.count_partition(
+                    &hash,
+                    db,
+                    db_ranges[t].clone(),
+                    &mut scratch,
+                    &mut cref,
+                    opts,
+                    &mut meter,
+                );
+            }
+            (meter, local)
+        });
+        let meters: Vec<WorkMeter> = outcomes.iter().map(|(m, _)| *m).collect();
+        let count_work: Vec<u64> = meters.iter().map(|m| m.work_units()).collect();
+        for (rm, m) in run_meters.iter_mut().zip(&meters) {
+            rm.merge(m);
+        }
+        phases.push(PhaseStat {
+            name: "count",
+            k,
+            wall: t0.elapsed(),
+            thread_work: Some(count_work),
+        });
+
+        // Reduction + extraction (master).
+        let t0 = Instant::now();
+        let final_counts: Vec<u32> = if inline {
+            tree.inline_counts()
+        } else if per_thread {
+            let locals: Vec<LocalCounters> =
+                outcomes.into_iter().map(|(_, l)| l.unwrap()).collect();
+            reduce(&locals)
+        } else {
+            shared.unwrap().snapshot()
+        };
+        let mut fk_sets = CandidateSet::new(k);
+        let mut fk_supports = Vec::new();
+        for (id, items) in cands.iter() {
+            if final_counts[id as usize] >= min_support {
+                fk_sets.push(items);
+                fk_supports.push(final_counts[id as usize]);
+            }
+        }
+        let fk = FrequentLevel::new(fk_sets, fk_supports);
+        phases.push(PhaseStat {
+            name: "extract",
+            k,
+            wall: t0.elapsed(),
+            thread_work: None,
+        });
+
+        let mut total_meter = WorkMeter::default();
+        for m in &meters {
+            total_meter.merge(m);
+        }
+        iter_stats.push(IterStats {
+            k,
+            n_candidates: cands.len(),
+            n_frequent: fk.len(),
+            fanout,
+            tree_bytes: tree.total_bytes(),
+            tree_nodes: tree.n_nodes(),
+            join_pairs,
+            meter: total_meter,
+        });
+
+        let done = fk.is_empty();
+        if !done {
+            levels.push(fk);
+        }
+        k += 1;
+        if done {
+            break;
+        }
+    }
+
+    let result = MiningResult {
+        levels,
+        iter_stats,
+        min_support,
+    };
+    let stats = ParallelRunStats {
+        n_threads: p,
+        phases,
+        wall: run_start.elapsed(),
+        count_meters: run_meters,
+    };
+    (result, stats)
+}
+
+/// Candidate generation balanced across `p` threads at *member*
+/// granularity (§3.1.2): the unit of work is one itemset of `F_{k-1}`,
+/// whose workload is the number of joins it initiates within its
+/// equivalence class (`|S| - i - 1`, the triangular profile of the
+/// paper's running example). This matters most for `C_2`, where all of
+/// `F_1` forms a single class and class-granularity partitioning would
+/// serialize the join.
+///
+/// Returns the merged (lex-ordered) candidates, per-thread join
+/// workloads, and the total pair count.
+fn parallel_candgen(
+    prev: &FrequentLevel,
+    classes: &[Range<u32>],
+    weights: &[u64],
+    cfg: &ParallelConfig,
+    p: usize,
+) -> (CandidateSet, Vec<u64>, u64) {
+    let k = prev.k() + 1;
+    // Work units: (class index, member index) with triangular weights.
+    let mut units: Vec<(u32, u32)> = Vec::new();
+    let mut unit_weights: Vec<u64> = Vec::new();
+    for (ci, class) in classes.iter().enumerate() {
+        let size = class.end - class.start;
+        for m in 0..size {
+            units.push((ci as u32, m));
+            unit_weights.push((size - m - 1) as u64);
+        }
+    }
+    let assignment = cfg.candgen_scheme.assign(&unit_weights, p);
+
+    // Each thread generates the candidates its members initiate, keyed by
+    // unit index for the deterministic lex-order merge.
+    let outputs: Vec<Vec<(usize, CandidateSet)>> = run_threads(p, |t| {
+        let mut scratch = Vec::with_capacity(k as usize);
+        let mut out = Vec::with_capacity(assignment.bins[t].len());
+        for &u in &assignment.bins[t] {
+            let (ci, m) = units[u];
+            let class = &classes[ci as usize];
+            let mut set = CandidateSet::new(k);
+            generate_member(prev, class.clone(), m, &mut set, &mut scratch);
+            out.push((u, set));
+        }
+        out
+    });
+    // Units are (class, member) in lexicographic generation order, so
+    // concatenating by unit index restores the sequential ordering.
+    let mut by_unit: Vec<(usize, CandidateSet)> = outputs.into_iter().flatten().collect();
+    by_unit.sort_by_key(|(u, _)| *u);
+    let mut merged = CandidateSet::new(k);
+    for (_, set) in &by_unit {
+        merged.extend_from(set);
+    }
+    let pairs = weights.iter().sum();
+    (merged, assignment.loads, pairs)
+}
+
+/// Generates the candidates initiated by member `m` of `class` (joins
+/// with every later member), with pruning — one work unit of the
+/// balanced parallel join.
+fn generate_member(
+    prev: &FrequentLevel,
+    class: Range<u32>,
+    m: u32,
+    out: &mut CandidateSet,
+    scratch: &mut Vec<u32>,
+) {
+    let sub = (class.start + m)..class.end;
+    arm_core::generation::generate_class_member(prev, sub, out, scratch);
+}
+
+/// Spawns `p` scoped threads running `f(thread_id)` and collects results
+/// in thread order. With `p == 1` the closure runs on the caller's thread.
+pub(crate) fn run_threads<R: Send>(p: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    if p == 1 {
+        return vec![f(0)];
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..p).map(|t| scope.spawn(move || f(t))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm_balance::Scheme;
+    use arm_core::{mine as mine_seq, AprioriConfig, Support};
+    use arm_hashtree::PlacementPolicy;
+
+    fn paper_db() -> Database {
+        Database::from_transactions(
+            8,
+            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+        )
+        .unwrap()
+    }
+
+    fn base_cfg() -> AprioriConfig {
+        AprioriConfig {
+            min_support: Support::Absolute(2),
+            leaf_threshold: 2,
+            ..AprioriConfig::default()
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_worked_example() {
+        let db = paper_db();
+        let expected = mine_seq(&db, &base_cfg()).all_itemsets();
+        for p in [1usize, 2, 3, 4] {
+            let cfg = ParallelConfig::new(base_cfg(), p);
+            let (r, stats) = mine(&db, &cfg);
+            assert_eq!(r.all_itemsets(), expected, "P={p}");
+            assert_eq!(stats.n_threads, p);
+            assert!(stats.wall.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn all_policies_and_schemes_agree() {
+        let db = paper_db();
+        let expected = mine_seq(&db, &base_cfg()).all_itemsets();
+        for policy in PlacementPolicy::ALL {
+            for scheme in [Scheme::Block, Scheme::Interleaved, Scheme::Bitonic, Scheme::Greedy]
+            {
+                let mut cfg = ParallelConfig::new(base_cfg().with_placement(policy), 3)
+                    .with_candgen(scheme);
+                cfg.parallel_candgen_min = 1; // force parallel candgen
+                let (r, _) = mine(&db, &cfg);
+                assert_eq!(r.all_itemsets(), expected, "{policy} {scheme:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn db_partition_strategies_agree() {
+        use crate::config::DbPartition;
+        let db = paper_db();
+        let expected = mine_seq(&db, &base_cfg()).all_itemsets();
+        for part in [
+            DbPartition::Block,
+            DbPartition::WeightedStatic { kmax: 6 },
+            DbPartition::WeightedPerIteration,
+        ] {
+            let cfg = ParallelConfig::new(base_cfg(), 2).with_db_partition(part);
+            let (r, _) = mine(&db, &cfg);
+            assert_eq!(r.all_itemsets(), expected, "{part:?}");
+        }
+    }
+
+    #[test]
+    fn phase_stats_are_recorded() {
+        let db = paper_db();
+        let (_, stats) = mine(&db, &ParallelConfig::new(base_cfg(), 2));
+        let names: Vec<&str> = stats.phases.iter().map(|p| p.name).collect();
+        assert!(names.contains(&"f1"));
+        assert!(names.contains(&"candgen"));
+        assert!(names.contains(&"build"));
+        assert!(names.contains(&"freeze"));
+        assert!(names.contains(&"count"));
+        assert!(names.contains(&"extract"));
+        assert!(stats.simulated_speedup() >= 1.0);
+        assert!(stats.total_work("count") > 0);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = Database::from_transactions(4, Vec::<Vec<u32>>::new()).unwrap();
+        let (r, _) = mine(&db, &ParallelConfig::new(AprioriConfig::default(), 2));
+        assert_eq!(r.total_frequent(), 0);
+    }
+}

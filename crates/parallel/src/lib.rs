@@ -1,0 +1,39 @@
+//! Shared-memory parallel association mining: the paper's CCPD algorithm
+//! (and the PCCD baseline), with phase-level work accounting.
+//!
+//! * [`ccpd`] — Common Candidate, Partitioned Database: the algorithm the
+//!   paper evaluates throughout (§3.3, Figs. 8–13);
+//! * [`pccd`] — Partitioned Candidate, Common Database: the baseline whose
+//!   duplicated scans make it a speed-down (kept for the comparison);
+//! * [`config`] — thread count, candidate-generation balancing scheme,
+//!   database partition heuristic;
+//! * [`stats`] — per-phase wall/work records and the simulated-speedup
+//!   model documented in DESIGN.md.
+//!
+//! ```
+//! use arm_core::{AprioriConfig, Support};
+//! use arm_dataset::Database;
+//! use arm_parallel::{ccpd, ParallelConfig};
+//!
+//! let db = Database::from_transactions(
+//!     8,
+//!     [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+//! )
+//! .unwrap();
+//! let base = AprioriConfig {
+//!     min_support: Support::Absolute(2),
+//!     leaf_threshold: 2,
+//!     ..AprioriConfig::default()
+//! };
+//! let (result, stats) = ccpd::mine(&db, &ParallelConfig::new(base, 2));
+//! assert_eq!(result.support_of(&[1, 4, 5]), Some(2));
+//! assert!(stats.simulated_speedup() >= 1.0);
+//! ```
+
+pub mod ccpd;
+pub mod config;
+pub mod pccd;
+pub mod stats;
+
+pub use config::{DbPartition, ParallelConfig};
+pub use stats::{ParallelRunStats, PhaseStat};

@@ -1,0 +1,274 @@
+//! PCCD — Partitioned Candidate, Common Database (§3.3).
+//!
+//! The comparison baseline: candidates are split across workers, each
+//! worker builds a *local* hash tree and scans the **entire** database
+//! against it. Total counting work is therefore ~`P×` the CCPD work —
+//! the paper measured a speed-*down* and dropped the approach; we keep it
+//! as the baseline it is (Fig. 11 commentary, DESIGN.md experiment index).
+
+use crate::ccpd::run_threads;
+use crate::config::ParallelConfig;
+use crate::stats::{ParallelRunStats, PhaseStat};
+use arm_core::{
+    adaptive_fanout, equivalence_classes, f1_items, frequent_from_counts, generate_class,
+    make_hash, count_singletons, FrequentLevel, IterStats, MiningResult,
+};
+use arm_dataset::Database;
+use arm_hashtree::{
+    freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, TreeBuilder, WorkMeter,
+};
+use arm_mem::LocalCounters;
+use std::time::Instant;
+
+/// Runs PCCD, returning the mining result (identical to sequential) and
+/// phase statistics.
+pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunStats) {
+    let run_start = Instant::now();
+    let p = cfg.n_threads.max(1);
+    let min_support = cfg.base.min_support.absolute(db.len());
+    let mut phases: Vec<PhaseStat> = Vec::new();
+    let mut run_meters = vec![WorkMeter::default(); p];
+
+    // F1 is identical to CCPD (histograms are cheap; keep it serial here
+    // to emphasize that PCCD's pathology is in the counting phase).
+    let t0 = Instant::now();
+    let counts = count_singletons(db, 0..db.len());
+    let f1 = frequent_from_counts(&counts, min_support);
+    phases.push(PhaseStat {
+        name: "f1",
+        k: 1,
+        wall: t0.elapsed(),
+        thread_work: None,
+    });
+
+    let f1_item_list = f1_items(&f1);
+    let mut iter_stats = vec![IterStats {
+        k: 1,
+        n_candidates: db.n_items() as usize,
+        n_frequent: f1.len(),
+        fanout: 0,
+        tree_bytes: 0,
+        tree_nodes: 0,
+        join_pairs: 0,
+        meter: WorkMeter::default(),
+    }];
+    let mut levels = vec![f1];
+
+    let mut k = 2u32;
+    loop {
+        if cfg.base.max_k.is_some_and(|m| k > m) {
+            break;
+        }
+        let prev = levels.last().unwrap();
+        if prev.len() < 2 {
+            break;
+        }
+
+        // Sequential candidate generation (master), as in the paper's
+        // PCCD variant; the candidates are then *partitioned*.
+        let t0 = Instant::now();
+        let classes = equivalence_classes(prev);
+        let mut cands = CandidateSet::new(k);
+        let mut scratch = Vec::with_capacity(k as usize);
+        let mut join_pairs = 0u64;
+        for class in &classes {
+            join_pairs += generate_class(prev, class.clone(), &mut cands, &mut scratch);
+        }
+        phases.push(PhaseStat {
+            name: "candgen",
+            k,
+            wall: t0.elapsed(),
+            thread_work: None,
+        });
+        if cands.is_empty() {
+            break;
+        }
+
+        let fanout = if cfg.base.adaptive_fanout {
+            adaptive_fanout(&classes, cfg.base.leaf_threshold, k)
+        } else {
+            cfg.base.fixed_fanout
+        };
+        let hash = make_hash(cfg.base.hash_scheme, fanout, &f1_item_list, db.n_items());
+
+        // Partition candidates across threads (greedy over uniform
+        // weights ≈ equal tree sizes, §3.2.1).
+        let weights = vec![1u64; cands.len()];
+        let assignment = cfg.candgen_scheme.assign(&weights, p);
+
+        // Each thread: local tree over its candidates, full database scan.
+        let t0 = Instant::now();
+        let opts = CountOptions {
+            short_circuit: cfg.base.short_circuit,
+            visited: cfg.base.visited,
+        };
+        // (global candidate ids, their counts, meter, tree bytes, tree nodes)
+        type ThreadOutcome = (Vec<u32>, Vec<u32>, WorkMeter, usize, u32);
+        let outcomes: Vec<ThreadOutcome> = run_threads(p, |t| {
+            let ids = &assignment.bins[t]; // sorted → lexicographic subset
+            let mut local_set = CandidateSet::new(k);
+            for &id in ids {
+                local_set.push(cands.get(id as u32));
+            }
+            let mut meter = WorkMeter::default();
+            if local_set.is_empty() {
+                return (Vec::new(), Vec::new(), meter, 0, 0);
+            }
+            let builder = TreeBuilder::new(&local_set, &hash, cfg.base.leaf_threshold);
+            builder.insert_all();
+            let tree = freeze_policy(&builder, cfg.base.placement);
+            let mut scratch = CountScratch::new(db.n_items(), tree.n_nodes());
+            let local_counts: Vec<u32> = if tree.counters_inline() {
+                let mut cref = CounterRef::Inline;
+                tree.count_partition(&hash, db, 0..db.len(), &mut scratch, &mut cref, opts, &mut meter);
+                tree.inline_counts()
+            } else {
+                let mut local = LocalCounters::new(local_set.len());
+                {
+                    let mut cref = CounterRef::Local(&mut local);
+                    tree.count_partition(
+                        &hash,
+                        db,
+                        0..db.len(),
+                        &mut scratch,
+                        &mut cref,
+                        opts,
+                        &mut meter,
+                    );
+                }
+                local.slots().to_vec()
+            };
+            let ids_u32: Vec<u32> = ids.iter().map(|&i| i as u32).collect();
+            (ids_u32, local_counts, meter, tree.total_bytes(), tree.n_nodes())
+        });
+        let count_work: Vec<u64> = outcomes.iter().map(|(_, _, m, _, _)| m.work_units()).collect();
+        for (rm, (_, _, m, _, _)) in run_meters.iter_mut().zip(&outcomes) {
+            rm.merge(m);
+        }
+        phases.push(PhaseStat {
+            name: "count",
+            k,
+            wall: t0.elapsed(),
+            thread_work: Some(count_work),
+        });
+
+        // Reduction: scatter local counts back to global candidate ids.
+        let t0 = Instant::now();
+        let mut final_counts = vec![0u32; cands.len()];
+        let mut tree_bytes = 0usize;
+        let mut tree_nodes = 0u32;
+        let mut total_meter = WorkMeter::default();
+        for (ids, local_counts, meter, tb, tn) in &outcomes {
+            for (slot, &id) in ids.iter().enumerate() {
+                final_counts[id as usize] = local_counts[slot];
+            }
+            tree_bytes += tb;
+            tree_nodes += tn;
+            total_meter.merge(meter);
+        }
+        let mut fk_sets = CandidateSet::new(k);
+        let mut fk_supports = Vec::new();
+        for (id, items) in cands.iter() {
+            if final_counts[id as usize] >= min_support {
+                fk_sets.push(items);
+                fk_supports.push(final_counts[id as usize]);
+            }
+        }
+        let fk = FrequentLevel::new(fk_sets, fk_supports);
+        phases.push(PhaseStat {
+            name: "extract",
+            k,
+            wall: t0.elapsed(),
+            thread_work: None,
+        });
+
+        iter_stats.push(IterStats {
+            k,
+            n_candidates: cands.len(),
+            n_frequent: fk.len(),
+            fanout,
+            tree_bytes,
+            tree_nodes,
+            join_pairs,
+            meter: total_meter,
+        });
+
+        let done = fk.is_empty();
+        if !done {
+            levels.push(fk);
+        }
+        k += 1;
+        if done {
+            break;
+        }
+    }
+
+    let result = MiningResult {
+        levels,
+        iter_stats,
+        min_support,
+    };
+    let stats = ParallelRunStats {
+        n_threads: p,
+        phases,
+        wall: run_start.elapsed(),
+        count_meters: run_meters,
+    };
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccpd;
+    use arm_core::{mine as mine_seq, AprioriConfig, Support};
+
+    fn paper_db() -> Database {
+        Database::from_transactions(
+            8,
+            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+        )
+        .unwrap()
+    }
+
+    fn base_cfg() -> AprioriConfig {
+        AprioriConfig {
+            min_support: Support::Absolute(2),
+            leaf_threshold: 2,
+            ..AprioriConfig::default()
+        }
+    }
+
+    #[test]
+    fn matches_sequential() {
+        let db = paper_db();
+        let expected = mine_seq(&db, &base_cfg()).all_itemsets();
+        for p in [1usize, 2, 3] {
+            let (r, _) = mine(&db, &ParallelConfig::new(base_cfg(), p));
+            assert_eq!(r.all_itemsets(), expected, "P={p}");
+        }
+    }
+
+    #[test]
+    fn duplicated_scan_work_exceeds_ccpd() {
+        // PCCD's defining pathology: total counting work grows with P
+        // because every thread scans the full database.
+        let db = paper_db();
+        let (_, ccpd_stats) = ccpd::mine(&db, &ParallelConfig::new(base_cfg(), 3));
+        let (_, pccd_stats) = mine(&db, &ParallelConfig::new(base_cfg(), 3));
+        let ccpd_txns: u64 = ccpd_stats.count_meters.iter().map(|m| m.txns).sum();
+        let pccd_txns: u64 = pccd_stats.count_meters.iter().map(|m| m.txns).sum();
+        assert!(
+            pccd_txns > 2 * ccpd_txns,
+            "PCCD txns {pccd_txns} vs CCPD {ccpd_txns}"
+        );
+    }
+
+    #[test]
+    fn handles_more_threads_than_candidates() {
+        let db = paper_db();
+        let expected = mine_seq(&db, &base_cfg()).all_itemsets();
+        let (r, _) = mine(&db, &ParallelConfig::new(base_cfg(), 8));
+        assert_eq!(r.all_itemsets(), expected);
+    }
+}

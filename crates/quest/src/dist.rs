@@ -1,0 +1,101 @@
+//! Minimal distribution samplers for the Quest generator.
+//!
+//! `rand_distr` is deliberately not a dependency; the three distributions
+//! the AS'94 procedure needs (Poisson, Normal, Exponential) are small and
+//! implemented here: Knuth's product method for Poisson (the means involved
+//! are 2–20), Box–Muller for Normal, and inverse transform for Exponential.
+
+use rand::Rng;
+
+/// Samples `Poisson(lambda)` via Knuth's product method. Suitable for the
+/// small means (≤ ~30) used by transaction and pattern sizes.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda > 0.0 && lambda < 100.0, "poisson mean out of range");
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Samples `Exponential(mean)` by inverse transform.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0);
+    let u: f64 = rng.gen::<f64>();
+    // 1 - u ∈ (0, 1]; ln is finite.
+    -(1.0 - u).ln() * mean
+}
+
+/// Samples `Normal(mean, sd)` via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    assert!(sd >= 0.0);
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + sd * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut r = rng();
+        for lambda in [2.0f64, 5.0, 10.0, 20.0] {
+            let n = 20_000;
+            let sum: u64 = (0..n).map(|_| poisson(&mut r, lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.15 * lambda,
+                "lambda={lambda} mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = rng();
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, 0.5)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+        // Always non-negative.
+        assert!((0..1000).all(|_| exponential(&mut r, 1.0) >= 0.0));
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 0.5, 0.3)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+        assert!((var.sqrt() - 0.3).abs() < 0.01, "sd={}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<u64> = {
+            let mut r = rng();
+            (0..50).map(|_| poisson(&mut r, 7.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng();
+            (0..50).map(|_| poisson(&mut r, 7.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

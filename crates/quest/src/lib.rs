@@ -1,0 +1,316 @@
+//! IBM Quest-style synthetic basket-data generator.
+//!
+//! Re-implements the procedure of Agrawal & Srikant (VLDB'94, §2.4.3),
+//! which all datasets of the paper's Table 2 come from:
+//!
+//! 1. Draw `L` *maximal potentially frequent itemsets* ("patterns") with
+//!    Poisson-distributed sizes of mean `I`; successive patterns share an
+//!    exponentially distributed fraction of items with their predecessor
+//!    (mean = correlation level). Each pattern carries an exponentially
+//!    distributed weight (normalized to a probability) and a normally
+//!    distributed *corruption level*.
+//! 2. Build `D` transactions with Poisson-distributed sizes of mean `T`
+//!    by repeatedly sampling patterns by weight, dropping items from the
+//!    pattern while `uniform(0,1) < corruption`, and inserting the
+//!    remainder. An overflowing pattern is kept anyway in half the cases
+//!    and deferred to the next transaction otherwise.
+//!
+//! The paper fixes `N = 1000` items and `L = 2000` patterns.
+
+pub mod dist;
+
+use arm_dataset::{Database, DatabaseBuilder, Item};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic dataset (`T{T}.I{I}.D{D}` in paper naming).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuestParams {
+    /// Number of transactions (`D`).
+    pub n_txns: usize,
+    /// Average transaction size (`T`).
+    pub avg_txn_len: f64,
+    /// Average maximal-pattern size (`I`).
+    pub avg_pattern_len: f64,
+    /// Number of maximal potentially frequent itemsets (`L`, paper: 2000).
+    pub n_patterns: usize,
+    /// Number of items (`N`, paper: 1000).
+    pub n_items: u32,
+    /// Mean fraction of items shared with the previous pattern.
+    pub correlation: f64,
+    /// Mean of the per-pattern corruption level.
+    pub corruption_mean: f64,
+    /// Standard deviation of the corruption level (AS'94: variance 0.1).
+    pub corruption_sd: f64,
+    /// RNG seed (generation is fully deterministic given the params).
+    pub seed: u64,
+}
+
+impl QuestParams {
+    /// A `T{t}.I{i}.D{d}` dataset with the paper's fixed `N`/`L` and
+    /// AS'94 default correlation/corruption.
+    pub fn paper(t: u32, i: u32, d: usize) -> Self {
+        QuestParams {
+            n_txns: d,
+            avg_txn_len: t as f64,
+            avg_pattern_len: i as f64,
+            n_patterns: 2000,
+            n_items: 1000,
+            correlation: 0.5,
+            corruption_mean: 0.5,
+            corruption_sd: 0.1f64.sqrt(),
+            seed: 0x5EED_0000 | ((t as u64) << 8) | i as u64,
+        }
+    }
+
+    /// Canonical paper-style name.
+    pub fn name(&self) -> String {
+        arm_dataset::DatasetStats::dataset_name(
+            self.avg_txn_len.round() as usize,
+            self.avg_pattern_len.round() as usize,
+            self.n_txns,
+        )
+    }
+
+    /// Scales the transaction count (used to run paper datasets at
+    /// laptop-friendly sizes while keeping their structure).
+    pub fn with_txns(mut self, d: usize) -> Self {
+        self.n_txns = d;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The pattern pool of step 1.
+#[derive(Debug)]
+struct PatternPool {
+    patterns: Vec<Vec<Item>>,
+    /// Cumulative weights for O(log L) weighted sampling.
+    cumulative: Vec<f64>,
+    corruption: Vec<f64>,
+}
+
+impl PatternPool {
+    fn generate(p: &QuestParams, rng: &mut StdRng) -> Self {
+        let mut patterns = Vec::with_capacity(p.n_patterns);
+        let mut weights = Vec::with_capacity(p.n_patterns);
+        let mut corruption = Vec::with_capacity(p.n_patterns);
+        for idx in 0..p.n_patterns {
+            let size = (dist::poisson(rng, p.avg_pattern_len).max(1) as usize)
+                .min(p.n_items as usize);
+            let mut items: Vec<Item> = Vec::with_capacity(size);
+            // Fraction of items carried over from the previous pattern.
+            if idx > 0 {
+                let prev: &Vec<Item> = &patterns[idx - 1];
+                let frac = dist::exponential(rng, p.correlation).min(1.0);
+                let carry = ((frac * size as f64).round() as usize).min(prev.len());
+                // Reservoir-style distinct draw from the previous pattern.
+                let mut pool = prev.clone();
+                for _ in 0..carry {
+                    let j = rng.gen_range(0..pool.len());
+                    items.push(pool.swap_remove(j));
+                }
+            }
+            // Fill the rest with random fresh items.
+            while items.len() < size {
+                let candidate = rng.gen_range(0..p.n_items);
+                if !items.contains(&candidate) {
+                    items.push(candidate);
+                }
+            }
+            items.sort_unstable();
+            patterns.push(items);
+            weights.push(dist::exponential(rng, 1.0));
+            corruption.push(dist::normal(rng, p.corruption_mean, p.corruption_sd).clamp(0.0, 0.99));
+        }
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative: Vec<f64> = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        PatternPool {
+            patterns,
+            cumulative,
+            corruption,
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.patterns.len() - 1),
+        }
+    }
+}
+
+/// Generates a database from `params`.
+pub fn generate(params: &QuestParams) -> Database {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let pool = PatternPool::generate(params, &mut rng);
+    let mut b = DatabaseBuilder::with_capacity(
+        params.n_items,
+        params.n_txns,
+        params.avg_txn_len.ceil() as usize,
+    );
+
+    let mut deferred: Option<Vec<Item>> = None;
+    let mut txn: Vec<Item> = Vec::new();
+    for _ in 0..params.n_txns {
+        let target = dist::poisson(&mut rng, params.avg_txn_len).max(1) as usize;
+        txn.clear();
+        // A pattern deferred from the previous transaction goes in first.
+        if let Some(items) = deferred.take() {
+            txn.extend(items);
+        }
+        // Cap the number of pattern draws so pathological corruption
+        // levels can't spin forever.
+        let mut attempts = 0usize;
+        while txn.len() < target && attempts < 4 * target + 8 {
+            attempts += 1;
+            let pi = pool.sample(&mut rng);
+            let mut items = pool.patterns[pi].clone();
+            // Corrupt: drop random items while the coin keeps landing
+            // below the pattern's corruption level.
+            let c = pool.corruption[pi];
+            while !items.is_empty() && rng.gen::<f64>() < c {
+                let j = rng.gen_range(0..items.len());
+                items.swap_remove(j);
+            }
+            if items.is_empty() {
+                continue;
+            }
+            if txn.len() + items.len() > target && !txn.is_empty() {
+                if rng.gen_bool(0.5) {
+                    txn.extend(items); // put it in anyway
+                } else {
+                    deferred = Some(items); // move to the next transaction
+                }
+                break;
+            }
+            txn.extend(items);
+        }
+        b.push(txn.iter().copied())
+            .expect("generator items are always < n_items");
+    }
+    b.finish()
+}
+
+/// The eight Table 2 parameter sets, at full paper scale.
+pub fn table2_params() -> Vec<QuestParams> {
+    vec![
+        QuestParams::paper(5, 2, 100_000),
+        QuestParams::paper(10, 4, 100_000),
+        QuestParams::paper(15, 4, 100_000),
+        QuestParams::paper(20, 6, 100_000),
+        QuestParams::paper(10, 6, 400_000),
+        QuestParams::paper(10, 6, 800_000),
+        QuestParams::paper(10, 6, 1_600_000),
+        QuestParams::paper(10, 6, 3_200_000),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(t: u32, i: u32, d: usize) -> Database {
+        generate(&QuestParams::paper(t, i, d))
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small(10, 4, 500);
+        let b = small(10, 4, 500);
+        assert_eq!(a, b);
+        let c = generate(&QuestParams::paper(10, 4, 500).with_seed(99));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn transaction_count_and_range() {
+        let db = small(10, 4, 1000);
+        assert_eq!(db.len(), 1000);
+        assert_eq!(db.n_items(), 1000);
+        for t in &db {
+            assert!(t.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            assert!(t.iter().all(|&i| i < 1000));
+        }
+    }
+
+    #[test]
+    fn average_length_tracks_t() {
+        for t in [5u32, 10, 20] {
+            let db = small(t, 4, 2000);
+            let avg = db.avg_len();
+            // Sort/dedup and the overflow rule bias the mean a little; the
+            // paper's labels are nominal means, so allow a generous band.
+            assert!(
+                avg > 0.6 * t as f64 && avg < 1.5 * t as f64,
+                "T={t} avg={avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn has_correlated_structure() {
+        // A pattern-based database must contain frequent 2-itemsets well
+        // above the independence baseline: with N=1000 items and T=10,
+        // independent items would give pair supports around
+        // D * (10/1000)^2 = 0.0001*D; patterns push some pairs far higher.
+        let db = small(10, 4, 2000);
+        let mut counts = std::collections::HashMap::<(u32, u32), u32>::new();
+        for t in &db {
+            for (ai, &a) in t.iter().enumerate() {
+                for &b in &t[ai + 1..] {
+                    *counts.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        let best = counts.values().copied().max().unwrap_or(0);
+        assert!(
+            best as f64 > 0.005 * db.len() as f64,
+            "max pair support {best} too low for pattern data"
+        );
+    }
+
+    #[test]
+    fn pattern_pool_is_well_formed() {
+        let p = QuestParams::paper(10, 4, 10);
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let pool = PatternPool::generate(&p, &mut rng);
+        assert_eq!(pool.patterns.len(), 2000);
+        for pat in &pool.patterns {
+            assert!(!pat.is_empty());
+            assert!(pat.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(pool.corruption.iter().all(|&c| (0.0..1.0).contains(&c)));
+        let last = *pool.cumulative.last().unwrap();
+        assert!((last - 1.0).abs() < 1e-9);
+        // Weighted sampling hits a spread of patterns.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(pool.sample(&mut rng));
+        }
+        assert!(seen.len() > 200);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(QuestParams::paper(10, 6, 800_000).name(), "T10.I6.D800K");
+        assert_eq!(table2_params().len(), 8);
+        assert_eq!(table2_params()[0].name(), "T5.I2.D100K");
+    }
+}

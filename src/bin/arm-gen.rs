@@ -1,0 +1,93 @@
+//! `arm-gen` — generate IBM Quest-style synthetic basket data.
+//!
+//! ```text
+//! arm-gen <output> [--t 10] [--i 4] [--d 100000] [--items 1000]
+//!         [--patterns 2000] [--seed 42] [--format text|bin]
+//! ```
+
+use parallel_arm::cli::Args;
+use parallel_arm::prelude::*;
+
+const OPTS: &[&str] = &["t", "i", "d", "items", "patterns", "seed", "format"];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: arm-gen <output> [--t 10] [--i 4] [--d 100000] [--items 1000]\n\
+         \t[--patterns 2000] [--seed 42] [--format text|bin]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1), OPTS, &["help"]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+        }
+    };
+    if args.flag("help") || args.positional().len() != 1 {
+        usage();
+    }
+    let output = &args.positional()[0];
+
+    let t: u32 = args.get_parsed("t", 10, "an integer").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    });
+    let i: u32 = args.get_parsed("i", 4, "an integer").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    });
+    let d: usize = args
+        .get_parsed("d", 100_000, "an integer")
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            usage()
+        });
+    let mut params = QuestParams::paper(t, i, d);
+    params.n_items = args
+        .get_parsed("items", params.n_items, "an integer")
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            usage()
+        });
+    params.n_patterns = args
+        .get_parsed("patterns", params.n_patterns, "an integer")
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            usage()
+        });
+    if let Some(seed) = args.get("seed") {
+        params = params.with_seed(seed.parse().unwrap_or_else(|_| {
+            eprintln!("error: --seed must be an integer");
+            usage()
+        }));
+    }
+
+    eprintln!("generating {} ({} items, {} patterns)...", params.name(), params.n_items, params.n_patterns);
+    let db = generate(&params);
+    let stats = DatasetStats::measure(params.name(), &db);
+    eprintln!(
+        "  {} transactions, avg length {:.2}, {:.2} MB",
+        stats.n_txns,
+        stats.avg_txn_len,
+        stats.total_mb()
+    );
+
+    let res = match args.get("format").unwrap_or("text") {
+        "bin" => parallel_arm::dataset::io::save(&db, output),
+        "text" => std::fs::File::create(output).and_then(|f| {
+            parallel_arm::dataset::io::write_text(&db, std::io::BufWriter::new(f))
+        }),
+        other => {
+            eprintln!("error: unknown format {other:?} (text | bin)");
+            usage();
+        }
+    };
+    if let Err(e) = res {
+        eprintln!("error: cannot write {output}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {output}");
+}

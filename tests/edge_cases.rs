@@ -1,0 +1,139 @@
+//! Edge cases and failure injection across the stack.
+
+use parallel_arm::prelude::*;
+
+fn cfg_abs(minsup: u32) -> AprioriConfig {
+    AprioriConfig {
+        min_support: Support::Absolute(minsup),
+        leaf_threshold: 2,
+        ..AprioriConfig::default()
+    }
+}
+
+#[test]
+fn single_item_universe() {
+    let db = Database::from_transactions(1, [vec![0u32], vec![0], vec![]]).unwrap();
+    let r = parallel_arm::core::mine(&db, &cfg_abs(2));
+    assert_eq!(r.total_frequent(), 1);
+    assert_eq!(r.support_of(&[0]), Some(2));
+    assert!(generate_rules(&r, 0.5).is_empty(), "no rules from singletons");
+}
+
+#[test]
+fn identical_transactions_everything_frequent() {
+    let txn: Vec<u32> = (0..6).collect();
+    let db = Database::from_transactions(6, std::iter::repeat_n(txn, 10)).unwrap();
+    let r = parallel_arm::core::mine(&db, &cfg_abs(10));
+    // 2^6 - 1 frequent itemsets, all with support 10.
+    assert_eq!(r.total_frequent(), 63);
+    assert!(r.all_itemsets().iter().all(|(_, s)| *s == 10));
+    // Exactly one maximal itemset: the full transaction.
+    let maximal = parallel_arm::core::maximal_itemsets(&r);
+    assert_eq!(maximal.len(), 1);
+    assert_eq!(maximal[0].0, (0..6).collect::<Vec<u32>>());
+    // All rules have confidence 1.
+    let rules = generate_rules(&r, 1.0);
+    assert!(!rules.is_empty());
+    assert!(rules.iter().all(|ru| (ru.confidence - 1.0).abs() < 1e-12));
+}
+
+#[test]
+fn support_above_database_size() {
+    let db = Database::from_transactions(4, [vec![0u32, 1], vec![0, 1]]).unwrap();
+    let r = parallel_arm::core::mine(&db, &cfg_abs(3));
+    assert_eq!(r.total_frequent(), 0);
+    assert!(parallel_arm::core::maximal_itemsets(&r).is_empty());
+}
+
+#[test]
+fn max_k_zero_and_one_yield_only_singletons() {
+    let db = Database::from_transactions(4, [vec![0u32, 1], vec![0, 1], vec![0, 1]]).unwrap();
+    for cap in [0u32, 1] {
+        let cfg = AprioriConfig {
+            max_k: Some(cap),
+            ..cfg_abs(2)
+        };
+        let r = parallel_arm::core::mine(&db, &cfg);
+        assert!(
+            r.all_itemsets().iter().all(|(s, _)| s.len() == 1),
+            "cap={cap}"
+        );
+    }
+}
+
+#[test]
+fn more_threads_than_transactions() {
+    let db = Database::from_transactions(6, [vec![0u32, 1, 2], vec![0, 1]]).unwrap();
+    let expected = parallel_arm::core::mine(&db, &cfg_abs(2)).all_itemsets();
+    let (r, stats) = ccpd::mine(&db, &ParallelConfig::new(cfg_abs(2), 16));
+    assert_eq!(r.all_itemsets(), expected);
+    assert_eq!(stats.n_threads, 16);
+    let (r2, _) = pccd::mine(&db, &ParallelConfig::new(cfg_abs(2), 16));
+    assert_eq!(r2.all_itemsets(), expected);
+}
+
+#[test]
+fn extreme_leaf_threshold_and_fanout() {
+    let db = Database::from_transactions(
+        20,
+        (0..30).map(|i| vec![i % 20, (i + 1) % 20, (i + 3) % 20]),
+    )
+    .unwrap();
+    let reference = parallel_arm::core::mine(&db, &cfg_abs(2)).all_itemsets();
+    for (threshold, fanout) in [(1usize, 2u32), (1, 64), (1000, 2), (1000, 64)] {
+        let cfg = AprioriConfig {
+            leaf_threshold: threshold,
+            adaptive_fanout: false,
+            fixed_fanout: fanout,
+            ..cfg_abs(2)
+        };
+        let got = parallel_arm::core::mine(&db, &cfg).all_itemsets();
+        assert_eq!(got, reference, "T={threshold} H={fanout}");
+    }
+}
+
+#[test]
+fn rule_confidence_extremes() {
+    let db = Database::from_transactions(4, [vec![0u32, 1], vec![0, 1], vec![0]]).unwrap();
+    let r = parallel_arm::core::mine(&db, &cfg_abs(2));
+    // conf 0.0: every rule from every frequent itemset qualifies.
+    let all = generate_rules(&r, 0.0);
+    // {0,1} is the only multi-item frequent set → 2 rules.
+    assert_eq!(all.len(), 2);
+    // conf above 1.0: nothing qualifies.
+    assert!(generate_rules(&r, 1.01).is_empty());
+}
+
+#[test]
+fn transactions_shorter_than_k_are_ignored() {
+    // Mix of long and very short transactions; short ones must simply not
+    // contribute to deep iterations (and not crash the kernel).
+    let mut txns: Vec<Vec<u32>> = vec![vec![0, 1, 2, 3, 4]; 5];
+    txns.extend((0..10).map(|_| vec![0u32]));
+    txns.push(vec![]);
+    let db = Database::from_transactions(8, txns).unwrap();
+    let r = parallel_arm::core::mine(&db, &cfg_abs(5));
+    assert_eq!(r.support_of(&[0, 1, 2, 3, 4]), Some(5));
+    assert_eq!(r.support_of(&[0]), Some(15));
+}
+
+#[test]
+fn quest_generator_edge_parameters() {
+    // Tiny universes and degenerate pattern pools must still generate.
+    let mut p = QuestParams::paper(2, 1, 100);
+    p.n_items = 5;
+    p.n_patterns = 1;
+    let db = generate(&p);
+    assert_eq!(db.len(), 100);
+    for t in &db {
+        assert!(t.iter().all(|&i| i < 5));
+    }
+}
+
+#[test]
+fn pccd_with_single_candidate() {
+    // One candidate, many threads: most local trees are empty.
+    let db = Database::from_transactions(4, [vec![0u32, 1], vec![0, 1], vec![2]]).unwrap();
+    let (r, _) = pccd::mine(&db, &ParallelConfig::new(cfg_abs(2), 6));
+    assert_eq!(r.support_of(&[0, 1]), Some(2));
+}

@@ -1,0 +1,118 @@
+//! Parallel ≡ sequential: CCPD and PCCD must produce byte-identical
+//! frequent-itemset results for every thread count, placement policy,
+//! balancing scheme, and counter mode.
+
+use parallel_arm::prelude::*;
+
+fn synthetic(seed: u64) -> Database {
+    let mut p = QuestParams::paper(10, 4, 1_500).with_seed(seed);
+    p.n_patterns = 80;
+    generate(&p)
+}
+
+fn base_cfg() -> AprioriConfig {
+    AprioriConfig {
+        min_support: Support::Fraction(0.015),
+        ..AprioriConfig::default()
+    }
+}
+
+#[test]
+fn ccpd_equals_sequential_across_thread_counts() {
+    let db = synthetic(7);
+    let expected = parallel_arm::core::mine(&db, &base_cfg()).all_itemsets();
+    assert!(!expected.is_empty());
+    for p in [1usize, 2, 3, 4, 7, 12] {
+        let (r, stats) = ccpd::mine(&db, &ParallelConfig::new(base_cfg(), p));
+        assert_eq!(r.all_itemsets(), expected, "P={p}");
+        assert_eq!(stats.n_threads, p);
+    }
+}
+
+#[test]
+fn ccpd_equals_sequential_across_policies() {
+    let db = synthetic(8);
+    let expected = parallel_arm::core::mine(&db, &base_cfg()).all_itemsets();
+    for policy in PlacementPolicy::ALL {
+        let cfg = ParallelConfig::new(base_cfg().with_placement(policy), 4);
+        let (r, _) = ccpd::mine(&db, &cfg);
+        assert_eq!(r.all_itemsets(), expected, "{policy}");
+    }
+}
+
+#[test]
+fn ccpd_equals_sequential_across_candgen_schemes() {
+    let db = synthetic(9);
+    let expected = parallel_arm::core::mine(&db, &base_cfg()).all_itemsets();
+    for scheme in [Scheme::Block, Scheme::Interleaved, Scheme::Bitonic, Scheme::Greedy] {
+        let mut cfg = ParallelConfig::new(base_cfg(), 3).with_candgen(scheme);
+        cfg.parallel_candgen_min = 1;
+        let (r, _) = ccpd::mine(&db, &cfg);
+        assert_eq!(r.all_itemsets(), expected, "{scheme:?}");
+    }
+}
+
+#[test]
+fn pccd_equals_sequential() {
+    let db = synthetic(10);
+    let expected = parallel_arm::core::mine(&db, &base_cfg()).all_itemsets();
+    for p in [1usize, 2, 5] {
+        let (r, _) = pccd::mine(&db, &ParallelConfig::new(base_cfg(), p));
+        assert_eq!(r.all_itemsets(), expected, "P={p}");
+    }
+}
+
+#[test]
+fn hash_scheme_and_short_circuit_do_not_change_results() {
+    let db = synthetic(11);
+    let expected = parallel_arm::core::mine(&db, &base_cfg()).all_itemsets();
+    for hash_scheme in [HashScheme::Interleaved, HashScheme::Bitonic] {
+        for short_circuit in [false, true] {
+            for adaptive in [false, true] {
+                let base = AprioriConfig {
+                    hash_scheme,
+                    short_circuit,
+                    adaptive_fanout: adaptive,
+                    fixed_fanout: 5,
+                    ..base_cfg()
+                };
+                let (r, _) = ccpd::mine(&db, &ParallelConfig::new(base, 2));
+                assert_eq!(
+                    r.all_itemsets(),
+                    expected,
+                    "{hash_scheme:?} sc={short_circuit} adaptive={adaptive}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn db_partition_strategies_do_not_change_results() {
+    use parallel_arm::parallel::DbPartition;
+    let db = synthetic(12);
+    let expected = parallel_arm::core::mine(&db, &base_cfg()).all_itemsets();
+    for part in [
+        DbPartition::Block,
+        DbPartition::WeightedStatic { kmax: 6 },
+        DbPartition::WeightedPerIteration,
+    ] {
+        let cfg = ParallelConfig::new(base_cfg(), 4).with_db_partition(part);
+        let (r, _) = ccpd::mine(&db, &cfg);
+        assert_eq!(r.all_itemsets(), expected, "{part:?}");
+    }
+}
+
+#[test]
+fn work_model_sanity() {
+    let db = synthetic(13);
+    let (_, s1) = ccpd::mine(&db, &ParallelConfig::new(base_cfg(), 1));
+    let (_, s4) = ccpd::mine(&db, &ParallelConfig::new(base_cfg(), 4));
+    // One thread: no parallel gain by definition.
+    assert!((s1.simulated_speedup() - 1.0).abs() < 1e-9);
+    // Four threads: some gain, bounded by the thread count.
+    let sp = s4.simulated_speedup();
+    assert!(sp > 1.0 && sp <= 4.0 + 1e-9, "speedup {sp}");
+    // Counting work should dominate candgen work (paper: ~85%).
+    assert!(s4.total_work("count") > s4.total_work("candgen"));
+}
