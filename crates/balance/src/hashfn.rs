@@ -14,6 +14,16 @@ pub trait HashFn: Sync + Send {
     fn hash(&self, item: u32) -> u32;
     /// The fan-out `H` of the hash tables this function feeds.
     fn fanout(&self) -> u32;
+
+    /// Hashes every item of `items` into `out` (cleared first), so callers
+    /// that revisit the same items many times — the counting kernel hashes
+    /// each transaction item at every tree level — pay the hash (and any
+    /// dispatch) once per item instead of once per visit.
+    fn hash_slice(&self, items: &[u32], out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(items.len());
+        out.extend(items.iter().map(|&i| self.hash(i)));
+    }
 }
 
 /// The naive interleaved hash `g(i) = i mod H`.
@@ -164,6 +174,17 @@ impl HashFn for AnyHash {
             AnyHash::Indirection(f) => f.fanout(),
         }
     }
+
+    /// Resolves the variant once, then hashes the whole slice through the
+    /// concrete function — the per-item enum dispatch of `hash` is the cost
+    /// this batch entry point exists to avoid.
+    fn hash_slice(&self, items: &[u32], out: &mut Vec<u32>) {
+        match self {
+            AnyHash::Mod(f) => f.hash_slice(items, out),
+            AnyHash::Bitonic(f) => f.hash_slice(items, out),
+            AnyHash::Indirection(f) => f.hash_slice(items, out),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -249,5 +270,22 @@ mod tests {
         assert_eq!(b.hash(7), 0);
         assert_eq!(m.fanout(), 4);
         assert_eq!(b.fanout(), 4);
+    }
+
+    #[test]
+    fn hash_slice_matches_per_item_hash() {
+        let items: Vec<u32> = (0..40).collect();
+        let fns: Vec<Box<dyn HashFn>> = vec![
+            Box::new(ModHash::new(5)),
+            Box::new(BitonicHash::new(5)),
+            Box::new(IndirectionHash::for_frequent_items(&[1, 3, 8, 21], 40, 5)),
+            Box::new(AnyHash::Bitonic(BitonicHash::new(5))),
+        ];
+        for f in &fns {
+            let mut out = vec![7u32; 3]; // stale contents must be cleared
+            f.hash_slice(&items, &mut out);
+            let expect: Vec<u32> = items.iter().map(|&i| f.hash(i)).collect();
+            assert_eq!(out, expect);
+        }
     }
 }

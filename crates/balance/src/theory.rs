@@ -65,7 +65,15 @@ fn census<F: HashFn>(
     let h = f.fanout() as usize;
     for item in start..d {
         subset.push(item);
-        census(d, k, f, item + 1, path * h + f.hash(item) as usize, subset, counts);
+        census(
+            d,
+            k,
+            f,
+            item + 1,
+            path * h + f.hash(item) as usize,
+            subset,
+            counts,
+        );
         subset.pop();
     }
 }

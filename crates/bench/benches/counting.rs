@@ -1,11 +1,11 @@
 //! Support-counting kernel benchmarks: placement policy, short-circuit,
-//! and counter-placement effects on the hot loop.
+//! fast-path knobs, and counter-placement effects on the hot loop.
 
 use arm_balance::BitonicHash;
 use arm_dataset::Database;
 use arm_hashtree::{
-    freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, PlacementPolicy,
-    TreeBuilder, WorkMeter,
+    freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, ItemFilter,
+    PlacementPolicy, TreeBuilder, WorkMeter,
 };
 use arm_mem::{FlatCounters, LocalCounters};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -48,22 +48,27 @@ fn bench_policies(c: &mut Criterion) {
         let builder = TreeBuilder::new(&cands, &hash, 6);
         builder.insert_all();
         let tree = freeze_policy(&builder, policy);
-        g.bench_with_input(BenchmarkId::from_parameter(policy.name()), &tree, |b, tree| {
-            b.iter(|| {
-                let mut scratch = CountScratch::new(N_ITEMS, tree.n_nodes());
-                let mut meter = WorkMeter::default();
-                tree.count_partition(
-                    &hash,
-                    &db,
-                    0..db.len(),
-                    &mut scratch,
-                    &mut CounterRef::Inline,
-                    CountOptions::default(),
-                    &mut meter,
-                );
-                meter.hits
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &tree,
+            |b, tree| {
+                b.iter(|| {
+                    let mut scratch = CountScratch::new(N_ITEMS, tree.n_nodes());
+                    let mut meter = WorkMeter::default();
+                    tree.count_partition(
+                        &hash,
+                        &db,
+                        0..db.len(),
+                        None,
+                        &mut scratch,
+                        &mut CounterRef::Inline,
+                        CountOptions::default(),
+                        &mut meter,
+                    );
+                    meter.hits
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -85,12 +90,88 @@ fn bench_short_circuit(c: &mut Criterion) {
                     &hash,
                     &db,
                     0..db.len(),
+                    None,
                     &mut scratch,
                     &mut CounterRef::Inline,
-                    CountOptions { short_circuit: sc, ..CountOptions::default() },
+                    CountOptions {
+                        short_circuit: sc,
+                        ..CountOptions::default()
+                    },
                     &mut meter,
                 );
                 meter.node_visits
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The four counting fast-path knobs, off→on one at a time plus the
+/// all-on/all-off endpoints (scratch reuse shows up as allocating the
+/// scratch inside vs outside the timed loop).
+fn bench_fast_path(c: &mut Criterion) {
+    let (db, cands) = fixture();
+    let hash = BitonicHash::new(12);
+    let builder = TreeBuilder::new(&cands, &hash, 6);
+    builder.insert_all();
+    let tree = freeze_policy(&builder, PlacementPolicy::Gpp);
+    let filter = ItemFilter::from_candidates(&cands, N_ITEMS);
+    let mut g = c.benchmark_group("fast_path");
+    g.sample_size(15);
+    let base = CountOptions {
+        hash_memo: false,
+        iterative: false,
+        ..CountOptions::default()
+    };
+    let cases: [(&str, CountOptions, bool, bool); 6] = [
+        ("none", base, false, false),
+        (
+            "memo",
+            CountOptions {
+                hash_memo: true,
+                ..base
+            },
+            false,
+            false,
+        ),
+        ("trim", base, true, false),
+        (
+            "iterative",
+            CountOptions {
+                iterative: true,
+                ..base
+            },
+            false,
+            false,
+        ),
+        ("reuse", base, false, true),
+        ("all", CountOptions::default(), true, true),
+    ];
+    for (name, opts, trim, reuse) in cases {
+        let filter = trim.then_some(&filter);
+        let mut outer = CountScratch::new(N_ITEMS, tree.n_nodes());
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut fresh;
+                let scratch: &mut CountScratch = if reuse {
+                    outer.retarget(tree.n_nodes());
+                    &mut outer
+                } else {
+                    fresh = CountScratch::new(N_ITEMS, tree.n_nodes());
+                    &mut fresh
+                };
+                let mut meter = WorkMeter::default();
+                tree.count_partition(
+                    &hash,
+                    &db,
+                    0..db.len(),
+                    filter,
+                    scratch,
+                    &mut CounterRef::Inline,
+                    opts,
+                    &mut meter,
+                );
+                meter.hits
             })
         });
     }
@@ -116,6 +197,7 @@ fn bench_counter_modes(c: &mut Criterion) {
                 &hash,
                 &db,
                 0..db.len(),
+                None,
                 &mut scratch,
                 &mut CounterRef::Inline,
                 CountOptions::default(),
@@ -133,6 +215,7 @@ fn bench_counter_modes(c: &mut Criterion) {
                 &hash,
                 &db,
                 0..db.len(),
+                None,
                 &mut scratch,
                 &mut CounterRef::Shared(&counters),
                 CountOptions::default(),
@@ -150,6 +233,7 @@ fn bench_counter_modes(c: &mut Criterion) {
                 &hash,
                 &db,
                 0..db.len(),
+                None,
                 &mut scratch,
                 &mut CounterRef::Local(&mut counters),
                 CountOptions::default(),
@@ -161,5 +245,11 @@ fn bench_counter_modes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_short_circuit, bench_counter_modes);
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_short_circuit,
+    bench_fast_path,
+    bench_counter_modes
+);
 criterion_main!(benches);

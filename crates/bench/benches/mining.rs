@@ -33,7 +33,9 @@ fn bench_sequential(c: &mut Criterion) {
         min_support: Support::Fraction(0.01),
         ..AprioriConfig::unoptimized()
     };
-    g.bench_function("unoptimized", |b| b.iter(|| mine(&db, &base).total_frequent()));
+    g.bench_function("unoptimized", |b| {
+        b.iter(|| mine(&db, &base).total_frequent())
+    });
     g.finish();
 }
 

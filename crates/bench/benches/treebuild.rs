@@ -66,9 +66,11 @@ fn bench_freeze(c: &mut Criterion) {
     let mut g = c.benchmark_group("freeze");
     g.sample_size(20);
     for policy in PlacementPolicy::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &p| {
-            b.iter(|| freeze_policy(&builder, p).total_bytes())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &p| b.iter(|| freeze_policy(&builder, p).total_bytes()),
+        );
     }
     g.finish();
 }

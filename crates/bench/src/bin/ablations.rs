@@ -27,7 +27,10 @@ use arm_quest::{generate, QuestParams};
 
 fn main() {
     let scale = ScaleMode::from_env();
-    banner("Ablations: counters, leaf threshold, fan-out, visited scheme, db partition", scale);
+    banner(
+        "Ablations: counters, leaf threshold, fan-out, visited scheme, db partition",
+        scale,
+    );
     let cache = DatasetCache::new(scale);
     let reps = reps_for(scale).max(2);
     let db = cache.get(10, 4, 100_000);
@@ -71,6 +74,7 @@ fn counter_placement(db: &Database, reps: usize) {
             &hash,
             db,
             0..db.len(),
+            None,
             &mut scratch,
             &mut CounterRef::Inline,
             CountOptions::default(),
@@ -87,6 +91,7 @@ fn counter_placement(db: &Database, reps: usize) {
                 &hash,
                 db,
                 0..db.len(),
+                None,
                 &mut scratch,
                 &mut CounterRef::Shared(counters),
                 CountOptions::default(),
@@ -106,6 +111,7 @@ fn counter_placement(db: &Database, reps: usize) {
                 &hash,
                 db,
                 0..db.len(),
+                None,
                 &mut scratch,
                 &mut CounterRef::Local(&mut local),
                 CountOptions::default(),
@@ -177,8 +183,10 @@ fn visited_scheme(db: &Database, reps: usize) {
     let tree = freeze_policy(&builder, PlacementPolicy::Gpp);
     let mut csv = Csv::new("ablation_visited.csv", "mode,seconds,stamp_bytes");
     println!("{:<10} {:>10} {:>12}", "mode", "seconds", "stamp B");
-    for (name, visited) in [("per-node", VisitedMode::PerNode), ("level", VisitedMode::LevelPath)]
-    {
+    for (name, visited) in [
+        ("per-node", VisitedMode::PerNode),
+        ("level", VisitedMode::LevelPath),
+    ] {
         let mut stamp_bytes = 0usize;
         let (secs, _) = time_best(reps, || {
             let n_nodes = if visited == VisitedMode::LevelPath {
@@ -192,11 +200,13 @@ fn visited_scheme(db: &Database, reps: usize) {
                 &hash,
                 db,
                 0..db.len(),
+                None,
                 &mut scratch,
                 &mut CounterRef::Inline,
                 CountOptions {
                     short_circuit: true,
                     visited,
+                    ..CountOptions::default()
                 },
                 &mut meter,
             );
@@ -234,7 +244,10 @@ fn db_partitioning(scale: ScaleMode, reps: usize) {
         "ablation_db_partition.csv",
         "strategy,model_seconds,count_imbalance",
     );
-    println!("{:<22} {:>12} {:>16}", "strategy", "model (s)", "count imbalance");
+    println!(
+        "{:<22} {:>12} {:>16}",
+        "strategy", "model (s)", "count imbalance"
+    );
     for (name, part) in [
         ("block", DbPartition::Block),
         ("weighted-static", DbPartition::WeightedStatic { kmax: 6 }),

@@ -8,14 +8,21 @@ use arm_core::{mine, mine_eclat, mine_partition, AprioriConfig, Support};
 
 fn main() {
     let scale = ScaleMode::from_env();
-    banner("Baselines: Apriori (opt/unopt/DHP) vs Eclat vs Partition", scale);
+    banner(
+        "Baselines: Apriori (opt/unopt/DHP) vs Eclat vs Partition",
+        scale,
+    );
     let cache = DatasetCache::new(scale);
     let reps = reps_for(scale).max(2);
     let mut csv = Csv::new("baselines.csv", "dataset,algorithm,seconds,frequent");
 
     let frac = 0.005;
     let max_k = arm_bench::timing_max_k(scale);
-    for (t, i, d) in [(5u32, 2u32, 100_000usize), (10, 4, 100_000), (10, 6, 400_000)] {
+    for (t, i, d) in [
+        (5u32, 2u32, 100_000usize),
+        (10, 4, 100_000),
+        (10, 6, 400_000),
+    ] {
         let name = paper_name(t, i, d);
         let db = cache.get(t, i, d);
         let minsup = db.absolute_support(frac);

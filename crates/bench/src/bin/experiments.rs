@@ -7,8 +7,18 @@
 use std::process::Command;
 
 const EXPERIMENTS: [&str; 12] = [
-    "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablations",
-    "baselines", "scaling",
+    "table2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ablations",
+    "baselines",
+    "scaling",
 ];
 
 fn main() {

@@ -21,7 +21,10 @@ fn per_iteration(stats: &ParallelRunStats) -> Vec<(u32, f64)> {
 
 fn main() {
     let scale = ScaleMode::from_env();
-    banner("Fig. 10: per-iteration short-circuit improvement (T20.I6.D100K, P=1)", scale);
+    banner(
+        "Fig. 10: per-iteration short-circuit improvement (T20.I6.D100K, P=1)",
+        scale,
+    );
     let cache = DatasetCache::new(scale);
     let reps = reps_for(scale).max(2);
     let db = cache.get(20, 6, 100_000);
@@ -69,7 +72,10 @@ fn main() {
     let (on_t, on_v) = run(true);
 
     let mut csv = Csv::new("fig10.csv", "k,time_improvement_pct,visit_reduction_pct");
-    println!("{:>3} {:>12} {:>16}", "k", "time impr %", "visit reduction %");
+    println!(
+        "{:>3} {:>12} {:>16}",
+        "k", "time impr %", "visit reduction %"
+    );
     for ((k, toff), (_, ton)) in off_t.iter().zip(&on_t) {
         let ti = pct_improvement(*toff, *ton);
         let vi = off_v

@@ -3,7 +3,9 @@
 //! baseline; locality effects are per-core and fully reproducible on any
 //! host.
 
-use arm_bench::{banner, paper_name, reps_for, time_best, Csv, DatasetCache, ScaleMode, FIG_DATASETS_6};
+use arm_bench::{
+    banner, paper_name, reps_for, time_best, Csv, DatasetCache, ScaleMode, FIG_DATASETS_6,
+};
 use arm_core::{mine, AprioriConfig, Support};
 use arm_hashtree::PlacementPolicy;
 
@@ -37,7 +39,10 @@ fn main() {
                 }
                 let norm = secs / base;
                 row.push_str(&format!(" {norm:>8.3}"));
-                csv.row(format!("{support},{name},{},{secs:.4},{norm:.4}", policy.name()));
+                csv.row(format!(
+                    "{support},{name},{},{secs:.4},{norm:.4}",
+                    policy.name()
+                ));
             }
             println!("{row}");
         }

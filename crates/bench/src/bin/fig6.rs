@@ -18,7 +18,10 @@ const DATASETS: [(u32, u32, usize); 6] = [
 
 fn main() {
     let scale = ScaleMode::from_env();
-    banner("Fig. 6: intermediate hash tree size per iteration (0.1% support)", scale);
+    banner(
+        "Fig. 6: intermediate hash tree size per iteration (0.1% support)",
+        scale,
+    );
     let cache = DatasetCache::new(scale);
     let mut csv = Csv::new("fig6.csv", "dataset,k,tree_bytes,tree_nodes,n_candidates");
 

@@ -8,7 +8,10 @@ use arm_core::{mine, AprioriConfig, Support};
 
 fn main() {
     let scale = ScaleMode::from_env();
-    banner("Fig. 7: frequent itemsets per iteration (0.5% support)", scale);
+    banner(
+        "Fig. 7: frequent itemsets per iteration (0.5% support)",
+        scale,
+    );
     let cache = DatasetCache::new(scale);
     let mut csv = Csv::new("fig7.csv", "dataset,k,n_frequent,n_candidates");
 
@@ -23,7 +26,10 @@ fn main() {
         print!("{name:<16}");
         for s in &r.iter_stats {
             print!(" k{}:{}", s.k, s.n_frequent);
-            csv.row(format!("{},{},{},{}", name, s.k, s.n_frequent, s.n_candidates));
+            csv.row(format!(
+                "{},{},{},{}",
+                name, s.k, s.n_frequent, s.n_candidates
+            ));
         }
         println!("  (total {})", r.total_frequent());
     }

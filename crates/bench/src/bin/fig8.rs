@@ -12,7 +12,9 @@
 //! removes the single-host-core limitation, see DESIGN.md).
 
 use arm_balance::Scheme;
-use arm_bench::{banner, paper_name, pct_improvement, reps_for, Csv, DatasetCache, ScaleMode, FIG_DATASETS_6};
+use arm_bench::{
+    banner, paper_name, pct_improvement, reps_for, Csv, DatasetCache, ScaleMode, FIG_DATASETS_6,
+};
 use arm_core::{AprioriConfig, HashScheme, Support};
 use arm_dataset::Database;
 use arm_parallel::{ccpd, ParallelConfig};
@@ -49,7 +51,10 @@ fn run(
 
 fn main() {
     let scale = ScaleMode::from_env();
-    banner("Fig. 8: computation and hash tree balancing (0.5% support)", scale);
+    banner(
+        "Fig. 8: computation and hash tree balancing (0.5% support)",
+        scale,
+    );
     let cache = DatasetCache::new(scale);
     let reps = reps_for(scale);
     let mut csv = Csv::new(

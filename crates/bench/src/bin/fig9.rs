@@ -35,7 +35,10 @@ fn run(db: &Database, p: usize, short_circuit: bool, reps: usize, max_k: Option<
 
 fn main() {
     let scale = ScaleMode::from_env();
-    banner("Fig. 9: short-circuited subset checking (0.5% support)", scale);
+    banner(
+        "Fig. 9: short-circuited subset checking (0.5% support)",
+        scale,
+    );
     let cache = DatasetCache::new(scale);
     let reps = reps_for(scale);
     let mut csv = Csv::new("fig9.csv", "dataset,procs,improvement_pct");

@@ -10,7 +10,10 @@ use arm_quest::QuestParams;
 
 fn main() {
     let scale = ScaleMode::from_env();
-    banner("Scale-up: CCPD time vs D (T10.I6 family, 0.5% support)", scale);
+    banner(
+        "Scale-up: CCPD time vs D (T10.I6 family, 0.5% support)",
+        scale,
+    );
     let reps = reps_for(scale);
     let mut csv = Csv::new("scaling.csv", "txns,seconds,per_txn_us,frequent");
 
@@ -19,7 +22,10 @@ fn main() {
         ScaleMode::Default => 10_000,
         ScaleMode::Full => 100_000,
     };
-    println!("{:>9} {:>10} {:>12} {:>10}", "D", "seconds", "us/txn", "frequent");
+    println!(
+        "{:>9} {:>10} {:>12} {:>10}",
+        "D", "seconds", "us/txn", "frequent"
+    );
     let mut first_per_txn = None;
     for mult in [1usize, 2, 4, 8] {
         let d = base_d * mult;

@@ -8,7 +8,8 @@ use crate::level::FrequentLevel;
 use arm_balance::{AnyHash, IndirectionHash, ModHash};
 use arm_dataset::{Database, Item};
 use arm_hashtree::{
-    freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, TreeBuilder, WorkMeter,
+    freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, ItemFilter, TreeBuilder,
+    WorkMeter,
 };
 use arm_mem::counters::reduce;
 use arm_mem::{FlatCounters, LocalCounters};
@@ -120,6 +121,16 @@ pub fn mine(db: &Database, config: &AprioriConfig) -> MiningResult {
     }];
     let mut levels = vec![f1];
 
+    let opts = CountOptions {
+        short_circuit: config.short_circuit,
+        visited: config.visited,
+        hash_memo: config.hash_memo,
+        iterative: config.iterative_walk,
+    };
+    // With `reuse_scratch` this single scratch (and all its buffers)
+    // serves every iteration, re-targeted at each new tree.
+    let mut scratch = CountScratch::new(db.n_items(), 0);
+
     let mut k = 2u32;
     loop {
         if config.max_k.is_some_and(|m| k > m) {
@@ -141,8 +152,7 @@ pub fn mine(db: &Database, config: &AprioriConfig) -> MiningResult {
         if k == 2 {
             if let Some((m, table)) = &pair_table {
                 // Lossless: a bucket count upper-bounds every pair in it.
-                cands = cands
-                    .filtered(|_, it| table[pair_bucket(it[0], it[1], *m)] >= min_support);
+                cands = cands.filtered(|_, it| table[pair_bucket(it[0], it[1], *m)] >= min_support);
             }
         }
         if cands.is_empty() {
@@ -162,15 +172,28 @@ pub fn mine(db: &Database, config: &AprioriConfig) -> MiningResult {
         let tree = freeze_policy(&builder, config.placement);
 
         // Support counting.
-        let mut scratch = CountScratch::new(db.n_items(), tree.n_nodes());
+        let filter = config
+            .trim_transactions
+            .then(|| ItemFilter::from_candidates(&cands, db.n_items()));
+        let filter = filter.as_ref();
+        if config.reuse_scratch {
+            scratch.retarget(tree.n_nodes());
+        } else {
+            scratch = CountScratch::new(db.n_items(), tree.n_nodes());
+        }
         let mut meter = WorkMeter::default();
-        let opts = CountOptions {
-            short_circuit: config.short_circuit,
-            visited: config.visited,
-        };
         let counts: Vec<u32> = if tree.counters_inline() {
             let mut cref = CounterRef::Inline;
-            tree.count_partition(&hash, db, 0..db.len(), &mut scratch, &mut cref, opts, &mut meter);
+            tree.count_partition(
+                &hash,
+                db,
+                0..db.len(),
+                filter,
+                &mut scratch,
+                &mut cref,
+                opts,
+                &mut meter,
+            );
             tree.inline_counts()
         } else if config.placement.per_thread_counters() {
             let mut local = LocalCounters::new(cands.len());
@@ -180,6 +203,7 @@ pub fn mine(db: &Database, config: &AprioriConfig) -> MiningResult {
                     &hash,
                     db,
                     0..db.len(),
+                    filter,
                     &mut scratch,
                     &mut cref,
                     opts,
@@ -190,7 +214,16 @@ pub fn mine(db: &Database, config: &AprioriConfig) -> MiningResult {
         } else {
             let shared = FlatCounters::new(cands.len());
             let mut cref = CounterRef::Shared(&shared);
-            tree.count_partition(&hash, db, 0..db.len(), &mut scratch, &mut cref, opts, &mut meter);
+            tree.count_partition(
+                &hash,
+                db,
+                0..db.len(),
+                filter,
+                &mut scratch,
+                &mut cref,
+                opts,
+                &mut meter,
+            );
             shared.snapshot()
         };
 
@@ -242,7 +275,12 @@ mod tests {
     fn paper_db() -> Database {
         Database::from_transactions(
             8,
-            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+            [
+                vec![1u32, 4, 5],
+                vec![1, 2],
+                vec![3, 4, 5],
+                vec![1, 2, 4, 5],
+            ],
         )
         .unwrap()
     }
@@ -282,23 +320,29 @@ mod tests {
                 for sc in [false, true] {
                     for adaptive in [false, true] {
                         for visited in [VisitedMode::PerNode, VisitedMode::LevelPath] {
-                            let cfg = AprioriConfig {
-                                min_support: Support::Absolute(2),
-                                leaf_threshold: 2,
-                                hash_scheme: scheme,
-                                adaptive_fanout: adaptive,
-                                fixed_fanout: 3,
-                                short_circuit: sc,
-                                visited,
-                                pair_filter_buckets: if sc { Some(64) } else { None },
-                                placement,
-                                max_k: None,
-                            };
-                            let got = mine(&db, &cfg).all_itemsets();
-                            assert_eq!(
-                                got, reference,
-                                "{placement} {scheme:?} sc={sc} {visited:?}"
-                            );
+                            for fast in [false, true] {
+                                let cfg = AprioriConfig {
+                                    min_support: Support::Absolute(2),
+                                    leaf_threshold: 2,
+                                    hash_scheme: scheme,
+                                    adaptive_fanout: adaptive,
+                                    fixed_fanout: 3,
+                                    short_circuit: sc,
+                                    visited,
+                                    pair_filter_buckets: if sc { Some(64) } else { None },
+                                    placement,
+                                    max_k: None,
+                                    hash_memo: fast,
+                                    trim_transactions: fast,
+                                    iterative_walk: fast,
+                                    reuse_scratch: fast,
+                                };
+                                let got = mine(&db, &cfg).all_itemsets();
+                                assert_eq!(
+                                    got, reference,
+                                    "{placement} {scheme:?} sc={sc} {visited:?} fast={fast}"
+                                );
+                            }
                         }
                     }
                 }
@@ -343,11 +387,8 @@ mod tests {
 
     #[test]
     fn support_one_hundred_percent() {
-        let db = Database::from_transactions(
-            4,
-            [vec![0u32, 1, 2], vec![0, 1, 2], vec![0, 1, 2]],
-        )
-        .unwrap();
+        let db = Database::from_transactions(4, [vec![0u32, 1, 2], vec![0, 1, 2], vec![0, 1, 2]])
+            .unwrap();
         let cfg = AprioriConfig {
             min_support: Support::Fraction(1.0),
             leaf_threshold: 2,

@@ -23,11 +23,7 @@ struct Member {
 /// Mines all frequent itemsets by vertical tidlist intersection.
 /// Output is ordered by itemset length, then lexicographically, matching
 /// [`crate::apriori::MiningResult::all_itemsets`].
-pub fn mine_eclat(
-    db: &Database,
-    min_support: u32,
-    max_k: Option<u32>,
-) -> Vec<(Vec<Item>, u32)> {
+pub fn mine_eclat(db: &Database, min_support: u32, max_k: Option<u32>) -> Vec<(Vec<Item>, u32)> {
     let min_support = min_support.max(1);
     // Vertical representation of the frequent items.
     let mut tidlists: Vec<Vec<Tid>> = vec![Vec::new(); db.n_items() as usize];
@@ -71,10 +67,7 @@ fn extend(
         for b in &class[i + 1..] {
             let tids = intersect(&a.tids, &b.tids);
             if tids.len() >= min_support as usize {
-                child_class.push(Member {
-                    item: b.item,
-                    tids,
-                });
+                child_class.push(Member { item: b.item, tids });
             }
         }
         if child_class.is_empty() {
@@ -120,7 +113,12 @@ mod tests {
     fn paper_db() -> Database {
         Database::from_transactions(
             8,
-            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+            [
+                vec![1u32, 4, 5],
+                vec![1, 2],
+                vec![3, 4, 5],
+                vec![1, 2, 4, 5],
+            ],
         )
         .unwrap()
     }

@@ -72,7 +72,12 @@ mod tests {
     fn paper_db() -> Database {
         Database::from_transactions(
             8,
-            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+            [
+                vec![1u32, 4, 5],
+                vec![1, 2],
+                vec![3, 4, 5],
+                vec![1, 2, 4, 5],
+            ],
         )
         .unwrap()
     }

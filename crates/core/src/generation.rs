@@ -241,11 +241,7 @@ mod tests {
     fn prune_checks_non_parent_subsets_only() {
         // F3 with a hole: candidate (0,1,2,3) joins from (0,1,2)+(0,1,3);
         // parents frequent, but (0,2,3) missing → pruned; (1,2,3) present.
-        let l = level_from(
-            3,
-            &[&[0, 1, 2], &[0, 1, 3], &[1, 2, 3]],
-            &[5, 5, 5],
-        );
+        let l = level_from(3, &[&[0, 1, 2], &[0, 1, 3], &[1, 2, 3]], &[5, 5, 5]);
         let (c4, _) = generate_candidates(&l);
         assert!(c4.is_empty());
 

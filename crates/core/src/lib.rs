@@ -46,12 +46,12 @@ pub use apriori::{f1_items, make_hash, mine, IterStats, MiningResult};
 pub use config::{AprioriConfig, HashScheme, Support};
 pub use eclat::mine_eclat;
 pub use f1::{count_singletons, frequent_from_counts, frequent_singletons};
-pub use partition_algo::mine_partition;
 pub use generation::{
     adaptive_fanout, class_weight, equivalence_classes, generate_candidates, generate_class,
     generate_class_member,
 };
 pub use level::FrequentLevel;
+pub use partition_algo::mine_partition;
 pub use rules::{generate_rules, Rule};
 pub use summaries::{closed_itemsets, maximal_itemsets};
 pub use taxonomy::{mine_generalized, Taxonomy};

@@ -15,7 +15,11 @@ use arm_hashtree::{naive_counts, CandidateSet};
 
 /// Apriori with naive counting. Returns `(items, support)` for every
 /// frequent itemset, ordered by length then lexicographically.
-pub fn mine_levelwise(db: &Database, min_support: u32, max_k: Option<u32>) -> Vec<(Vec<Item>, u32)> {
+pub fn mine_levelwise(
+    db: &Database,
+    min_support: u32,
+    max_k: Option<u32>,
+) -> Vec<(Vec<Item>, u32)> {
     let mut out = Vec::new();
     let mut level = frequent_singletons(db, min_support);
     let mut k = 1u32;
@@ -75,7 +79,12 @@ mod tests {
     fn paper_db() -> Database {
         Database::from_transactions(
             8,
-            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+            [
+                vec![1u32, 4, 5],
+                vec![1, 2],
+                vec![3, 4, 5],
+                vec![1, 2, 4, 5],
+            ],
         )
         .unwrap()
     }

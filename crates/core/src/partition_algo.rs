@@ -83,6 +83,7 @@ pub fn mine_partition(
                 &hash,
                 db,
                 0..db.len(),
+                None,
                 &mut scratch,
                 &mut CounterRef::Inline,
                 CountOptions::default(),
@@ -107,7 +108,12 @@ mod tests {
     fn paper_db() -> Database {
         Database::from_transactions(
             8,
-            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+            [
+                vec![1u32, 4, 5],
+                vec![1, 2],
+                vec![3, 4, 5],
+                vec![1, 2, 4, 5],
+            ],
         )
         .unwrap()
     }
@@ -143,7 +149,11 @@ mod tests {
         let minsup = (frac * db.len() as f64).ceil() as u32;
         let expected = mine_levelwise(&db, minsup, None);
         for chunks in [1usize, 3, 5] {
-            assert_eq!(mine_partition(&db, frac, chunks, None), expected, "chunks={chunks}");
+            assert_eq!(
+                mine_partition(&db, frac, chunks, None),
+                expected,
+                "chunks={chunks}"
+            );
         }
     }
 

@@ -43,8 +43,7 @@ impl Rule {
             return 0.0;
         }
         let n = n_txns as f64;
-        self.support as f64 / n
-            - (antecedent_support as f64 / n) * (consequent_support as f64 / n)
+        self.support as f64 / n - (antecedent_support as f64 / n) * (consequent_support as f64 / n)
     }
 }
 
@@ -167,7 +166,12 @@ mod tests {
     fn paper_result() -> MiningResult {
         let db = Database::from_transactions(
             8,
-            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+            [
+                vec![1u32, 4, 5],
+                vec![1, 2],
+                vec![3, 4, 5],
+                vec![1, 2, 4, 5],
+            ],
         )
         .unwrap();
         let cfg = AprioriConfig {

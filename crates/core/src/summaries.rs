@@ -58,8 +58,7 @@ fn filter_by_superset(
                 // and independent of the item universe, so scan.
                 for j in 0..next.len() {
                     let sup_items = next.get(j);
-                    if arm_hashtree::is_subset(items, sup_items)
-                        && prunes(support, next.support(j))
+                    if arm_hashtree::is_subset(items, sup_items) && prunes(support, next.support(j))
                     {
                         pruned = true;
                         break;
@@ -86,7 +85,12 @@ mod tests {
     fn paper_result() -> MiningResult {
         let db = Database::from_transactions(
             8,
-            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+            [
+                vec![1u32, 4, 5],
+                vec![1, 2],
+                vec![3, 4, 5],
+                vec![1, 2, 4, 5],
+            ],
         )
         .unwrap();
         mine(
@@ -116,10 +120,7 @@ mod tests {
         // not ({1,4,5} = 2). {4,5} closed. {1,4,5} closed.
         let c = closed_itemsets(&paper_result());
         let names: Vec<Vec<u32>> = c.iter().map(|(s, _)| s.clone()).collect();
-        assert_eq!(
-            names,
-            vec![vec![1], vec![1, 2], vec![4, 5], vec![1, 4, 5]]
-        );
+        assert_eq!(names, vec![vec![1], vec![1, 2], vec![4, 5], vec![1, 4, 5]]);
     }
 
     #[test]

@@ -239,11 +239,7 @@ mod tests {
     #[test]
     fn redundant_ancestor_itemsets_are_pruned() {
         let t = clothes_taxonomy();
-        let db = Database::from_transactions(
-            8,
-            std::iter::repeat_n(vec![3u32, 6], 4),
-        )
-        .unwrap();
+        let db = Database::from_transactions(8, std::iter::repeat_n(vec![3u32, 6], 4)).unwrap();
         let cfg = AprioriConfig {
             min_support: Support::Absolute(4),
             leaf_threshold: 2,

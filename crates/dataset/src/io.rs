@@ -156,11 +156,8 @@ mod tests {
     use super::*;
 
     fn sample() -> Database {
-        Database::from_transactions(
-            50,
-            [vec![1u32, 4, 5], vec![], vec![0, 2, 49], vec![7]],
-        )
-        .unwrap()
+        Database::from_transactions(50, [vec![1u32, 4, 5], vec![], vec![0, 2, 49], vec![7]])
+            .unwrap()
     }
 
     #[test]

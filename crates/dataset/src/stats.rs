@@ -69,8 +69,7 @@ mod tests {
 
     #[test]
     fn measures_basic_stats() {
-        let db =
-            Database::from_transactions(10, [vec![1u32, 2, 3], vec![2, 3], vec![9]]).unwrap();
+        let db = Database::from_transactions(10, [vec![1u32, 2, 3], vec![2, 3], vec![9]]).unwrap();
         let s = DatasetStats::measure("toy", &db);
         assert_eq!(s.n_txns, 3);
         assert_eq!(s.max_txn_len, 3);
@@ -82,7 +81,10 @@ mod tests {
     #[test]
     fn names_match_paper_convention() {
         assert_eq!(DatasetStats::dataset_name(10, 4, 100_000), "T10.I4.D100K");
-        assert_eq!(DatasetStats::dataset_name(10, 6, 3_200_000), "T10.I6.D3200K");
+        assert_eq!(
+            DatasetStats::dataset_name(10, 6, 3_200_000),
+            "T10.I6.D3200K"
+        );
         assert_eq!(DatasetStats::dataset_name(5, 2, 500), "T5.I2.D500");
     }
 }

@@ -123,12 +123,7 @@ impl<'a, F: HashFn> TreeBuilder<'a, F> {
             return (cur - 1) as usize;
         }
         let fresh = self.nodes.push(BuildNode::leaf(depth as u8)) as u32;
-        match children[cell].compare_exchange(
-            0,
-            fresh + 1,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        ) {
+        match children[cell].compare_exchange(0, fresh + 1, Ordering::AcqRel, Ordering::Acquire) {
             Ok(_) => fresh as usize,
             Err(winner) => (winner - 1) as usize, // fresh node is orphaned
         }

@@ -88,7 +88,10 @@ impl CandidateSet {
 
     /// Appends all candidates of `other` (same `k`).
     pub fn extend_from(&mut self, other: &CandidateSet) {
-        assert_eq!(self.k, other.k, "cannot merge candidate sets of different k");
+        assert_eq!(
+            self.k, other.k,
+            "cannot merge candidate sets of different k"
+        );
         self.items.extend_from_slice(&other.items);
     }
 

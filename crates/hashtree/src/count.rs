@@ -8,6 +8,26 @@
 //! extending the stamps to internal nodes is the paper's *short-circuited
 //! subset checking* optimization, enabled with
 //! [`CountOptions::short_circuit`].
+//!
+//! On top of that algorithmic layer sit four mechanical fast-path knobs,
+//! each independently toggleable so its effect can be ablated:
+//!
+//! * **Hash memoization** ([`CountOptions::hash_memo`]): each transaction
+//!   item is hashed once into a reusable table in [`CountScratch`]; the
+//!   walk indexes the table instead of re-hashing the same item at every
+//!   tree level (and paying enum dispatch per call for `AnyHash`).
+//! * **Transaction trimming** ([`ItemFilter`], passed to
+//!   [`count_transaction`]): items that appear in no candidate can never
+//!   affect a containment test, so they are dropped from the transaction
+//!   before the walk — losslessly shrinking the subset space the walk
+//!   enumerates.
+//! * **Explicit-stack traversal** ([`CountOptions::iterative`]): the
+//!   recursive walk (a 12-argument frame per level) is replaced by an
+//!   iterative loop over a small reusable frame stack, visiting nodes in
+//!   the exact same order (the [`WorkMeter`] tallies are bit-identical).
+//! * **Scratch reuse**: [`CountScratch::retarget`] re-aims an existing
+//!   scratch (with all its allocations) at a new tree, so drivers keep one
+//!   scratch per thread across all iterations instead of reallocating.
 
 use crate::freeze::{AnyFrozenTree, FrozenTree};
 use crate::policy::LeafLayout;
@@ -59,6 +79,14 @@ pub struct CountOptions {
     pub short_circuit: bool,
     /// VISITED stamp storage scheme.
     pub visited: VisitedMode,
+    /// Hash each transaction item once per transaction (via
+    /// [`HashFn::hash_slice`]) and index the memo table during the walk
+    /// instead of calling `HashFn::hash` per node visit.
+    pub hash_memo: bool,
+    /// Drive the walk with an explicit frame stack reused across
+    /// transactions instead of native recursion. Traversal order and
+    /// [`WorkMeter`] tallies are identical either way.
+    pub iterative: bool,
 }
 
 impl Default for CountOptions {
@@ -66,6 +94,8 @@ impl Default for CountOptions {
         CountOptions {
             short_circuit: true,
             visited: VisitedMode::PerNode,
+            hash_memo: true,
+            iterative: true,
         }
     }
 }
@@ -113,8 +143,85 @@ struct LevelStamp {
     sig: u64,
 }
 
-/// Reusable per-thread scratch: the transaction bitmap and the VISITED
-/// stamp storage (epoch-tagged so clearing is O(1) per transaction).
+/// A bitmap of items that can matter when counting a candidate set: an
+/// item outside every candidate never satisfies a containment test and
+/// never needs to be hashed, so dropping it from transactions before the
+/// walk is lossless while shrinking the subset space the walk enumerates.
+///
+/// Built once per iteration (read-only, shared across threads) from the
+/// candidates themselves — a tighter set than "items of some member of
+/// F_{k-1}", since every C_k candidate is a union of F_{k-1} members.
+pub struct ItemFilter {
+    bits: Vec<u64>,
+}
+
+impl ItemFilter {
+    /// Builds the filter from the items of every candidate in `cands`.
+    pub fn from_candidates(cands: &crate::candidates::CandidateSet, n_items: u32) -> Self {
+        let mut f = Self::empty(n_items);
+        for (_, items) in cands.iter() {
+            for &i in items {
+                f.insert(i);
+            }
+        }
+        f
+    }
+
+    /// Builds the filter from an explicit item list (e.g. the union of
+    /// F_{k-1} members).
+    pub fn from_items(items: impl IntoIterator<Item = Item>, n_items: u32) -> Self {
+        let mut f = Self::empty(n_items);
+        for i in items {
+            f.insert(i);
+        }
+        f
+    }
+
+    fn empty(n_items: u32) -> Self {
+        ItemFilter {
+            bits: vec![0; (n_items as usize).div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, item: Item) {
+        self.bits[(item / 64) as usize] |= 1 << (item % 64);
+    }
+
+    /// True when `item` appears in some candidate.
+    #[inline(always)]
+    pub fn contains(&self, item: Item) -> bool {
+        self.bits[(item / 64) as usize] & (1 << (item % 64)) != 0
+    }
+
+    /// Copies the items of `txn` that pass the filter into `out` (cleared
+    /// first), preserving order.
+    pub fn retain_into(&self, txn: &[Item], out: &mut Vec<Item>) {
+        out.clear();
+        out.extend(txn.iter().copied().filter(|&i| self.contains(i)));
+    }
+}
+
+/// One level of the explicit-stack walk: the node being expanded and the
+/// remaining range of transaction positions to hash at this level.
+#[derive(Clone, Copy)]
+struct Frame {
+    handle: u32,
+    /// Next transaction position to hash.
+    i: u32,
+    /// Last admissible position (inclusive).
+    last: u32,
+    depth: u32,
+    sig: u64,
+}
+
+/// Reusable per-thread scratch: the transaction bitmap, the VISITED
+/// stamp storage (epoch-tagged so clearing is O(1) per transaction), and
+/// the fast-path buffers (hash memo table, trimmed-transaction buffer,
+/// explicit-walk frame stack). All allocations survive
+/// [`CountScratch::retarget`], so a driver holding one scratch per thread
+/// across iterations performs no per-iteration allocation beyond a
+/// possible one-time growth.
 pub struct CountScratch {
     bitmap: Vec<u64>,
     touched: Vec<Item>,
@@ -125,6 +232,13 @@ pub struct CountScratch {
     level_stamps: Vec<LevelStamp>,
     level_fanout: u32,
     epoch: u32,
+    /// Per-transaction hash memo ([`CountOptions::hash_memo`]).
+    hash_memo: Vec<u32>,
+    /// Per-transaction trimmed copy (when an [`ItemFilter`] is in use).
+    trimmed: Vec<Item>,
+    /// Explicit-walk stack ([`CountOptions::iterative`]); at most `k + 1`
+    /// frames deep.
+    frames: Vec<Frame>,
 }
 
 impl CountScratch {
@@ -138,11 +252,15 @@ impl CountScratch {
             level_stamps: Vec::new(),
             level_fanout: 0,
             epoch: 0,
+            hash_memo: Vec::new(),
+            trimmed: Vec::new(),
+            frames: Vec::new(),
         }
     }
 
-    /// Re-targets the scratch at a new tree (new iteration), reusing the
-    /// bitmap allocation.
+    /// Re-targets the scratch at a new tree (new iteration), reusing every
+    /// buffer allocation (bitmap, memo, trim, frames; the stamp tables are
+    /// re-zeroed in place and only grow).
     pub fn retarget(&mut self, n_nodes: u32) {
         self.stamps.clear();
         self.stamps.resize(n_nodes as usize, 0);
@@ -155,8 +273,7 @@ impl CountScratch {
     /// the paper's `k·H·P` refinement shrinks (per-node needs
     /// `4 · nodes`, level-path needs `12 · (k+1) · H`).
     pub fn stamp_bytes(&self) -> usize {
-        self.stamps.len() * size_of::<u32>()
-            + self.level_stamps.len() * size_of::<LevelStamp>()
+        self.stamps.len() * size_of::<u32>() + self.level_stamps.len() * size_of::<LevelStamp>()
     }
 
     fn ensure_levels(&mut self, k: u32, fanout: u32) {
@@ -238,18 +355,35 @@ struct VisitCtx {
 }
 
 /// Counts one transaction against the tree.
+///
+/// When `filter` is given, the transaction is first trimmed to the items
+/// the filter admits (losslessly — see [`ItemFilter`]); `None` counts the
+/// transaction as-is.
 #[allow(clippy::too_many_arguments)] // the paper's knobs are orthogonal
 pub fn count_transaction<S: WordStore, F: HashFn>(
     tree: &FrozenTree<S>,
     hash: &F,
     txn: &[Item],
+    filter: Option<&ItemFilter>,
     scratch: &mut CountScratch,
     counter: &mut CounterRef<'_>,
     opts: CountOptions,
     meter: &mut WorkMeter,
 ) {
     debug_assert_eq!(hash.fanout(), tree.fanout);
+    // The trim and memo buffers live in the scratch but are walked while
+    // the scratch's stamps are mutated, so they are moved out for the call
+    // and restored at the end (keeping their allocations).
+    let mut trimmed = std::mem::take(&mut scratch.trimmed);
+    let txn: &[Item] = match filter {
+        Some(f) => {
+            f.retain_into(txn, &mut trimmed);
+            &trimmed
+        }
+        None => txn,
+    };
     if (txn.len() as u32) < tree.k {
+        scratch.trimmed = trimmed;
         return;
     }
     let bits = u64::BITS - u64::from(tree.fanout.max(2) - 1).leading_zeros();
@@ -266,7 +400,22 @@ pub fn count_transaction<S: WordStore, F: HashFn>(
     }
     scratch.begin_txn(txn);
     meter.txns += 1;
-    walk(tree, hash, txn, 0, tree.root, 0, 0, 0, ctx, scratch, counter, meter);
+    let mut memo_buf = std::mem::take(&mut scratch.hash_memo);
+    let memo: Option<&[u32]> = if opts.hash_memo {
+        hash.hash_slice(txn, &mut memo_buf);
+        Some(&memo_buf)
+    } else {
+        None
+    };
+    if opts.iterative {
+        walk_iterative(tree, hash, txn, memo, ctx, scratch, counter, meter);
+    } else {
+        walk(
+            tree, hash, txn, memo, 0, tree.root, 0, 0, 0, ctx, scratch, counter, meter,
+        );
+    }
+    scratch.hash_memo = memo_buf;
+    scratch.trimmed = trimmed;
 }
 
 /// Counts a contiguous range of database transactions (one processor's
@@ -277,23 +426,47 @@ pub fn count_partition<S: WordStore, F: HashFn>(
     hash: &F,
     db: &Database,
     range: Range<usize>,
+    filter: Option<&ItemFilter>,
     scratch: &mut CountScratch,
     counter: &mut CounterRef<'_>,
     opts: CountOptions,
     meter: &mut WorkMeter,
 ) {
     for i in range {
-        count_transaction(tree, hash, db.transaction(i), scratch, counter, opts, meter);
+        count_transaction(
+            tree,
+            hash,
+            db.transaction(i),
+            filter,
+            scratch,
+            counter,
+            opts,
+            meter,
+        );
     }
 }
 
+/// Resolves the hash cell for transaction position `i`: memo lookup when
+/// memoized, direct hash otherwise.
+#[inline(always)]
+fn cell_at<F: HashFn>(hash: &F, txn: &[Item], memo: Option<&[u32]>, i: usize) -> u32 {
+    match memo {
+        Some(m) => m[i],
+        None => hash.hash(txn[i]),
+    }
+}
+
+/// Enters `handle` during a walk: performs the VISITED bookkeeping, scans
+/// the node if it is a leaf, and otherwise returns the expansion frame for
+/// its children. Shared by the recursive and iterative drivers so their
+/// per-node semantics (and [`WorkMeter`] tallies) cannot drift apart.
 #[allow(clippy::too_many_arguments)]
-fn walk<S: WordStore, F: HashFn>(
+#[inline(always)]
+fn enter_node<S: WordStore>(
     tree: &FrozenTree<S>,
-    hash: &F,
     txn: &[Item],
-    pos: usize,
     handle: u32,
+    pos: usize,
     depth: u32,
     cell: u32,
     sig: u64,
@@ -301,7 +474,7 @@ fn walk<S: WordStore, F: HashFn>(
     scratch: &mut CountScratch,
     counter: &mut CounterRef<'_>,
     meter: &mut WorkMeter,
-) {
+) -> Option<Frame> {
     let header = tree.store.load(handle, 0);
     let node_id = header >> 1;
     let is_leaf = header & 1 == 1;
@@ -315,12 +488,12 @@ fn walk<S: WordStore, F: HashFn>(
             scratch.first_visit(node_id)
         };
         if !first {
-            return;
+            return None;
         }
         meter.node_visits += 1;
         meter.leaf_scans += 1;
         scan_leaf(tree, handle, scratch, counter, meter);
-        return;
+        return None;
     }
 
     if ctx.short_circuit {
@@ -330,7 +503,7 @@ fn walk<S: WordStore, F: HashFn>(
             scratch.first_visit(node_id)
         };
         if !first {
-            return;
+            return None;
         }
     }
     meter.node_visits += 1;
@@ -339,14 +512,45 @@ fn walk<S: WordStore, F: HashFn>(
     // enough items must remain to complete a k-subset.
     let remaining_needed = (tree.k - depth) as usize;
     let last = txn.len() - remaining_needed;
-    for i in pos..=last {
-        let child_cell = hash.hash(txn[i]);
+    Some(Frame {
+        handle,
+        i: pos as u32,
+        last: last as u32,
+        depth,
+        sig,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk<S: WordStore, F: HashFn>(
+    tree: &FrozenTree<S>,
+    hash: &F,
+    txn: &[Item],
+    memo: Option<&[u32]>,
+    pos: usize,
+    handle: u32,
+    depth: u32,
+    cell: u32,
+    sig: u64,
+    ctx: VisitCtx,
+    scratch: &mut CountScratch,
+    counter: &mut CounterRef<'_>,
+    meter: &mut WorkMeter,
+) {
+    let Some(frame) = enter_node(
+        tree, txn, handle, pos, depth, cell, sig, ctx, scratch, counter, meter,
+    ) else {
+        return;
+    };
+    for i in frame.i as usize..=frame.last as usize {
+        let child_cell = cell_at(hash, txn, memo, i);
         let child = tree.store.load(handle, 1 + child_cell);
         if child != NULL_HANDLE {
             walk(
                 tree,
                 hash,
                 txn,
+                memo,
                 i + 1,
                 child,
                 depth + 1,
@@ -359,6 +563,59 @@ fn walk<S: WordStore, F: HashFn>(
             );
         }
     }
+}
+
+/// The explicit-stack twin of [`walk`]: same depth-first order, same
+/// stamps, same meter tallies, but the per-level state is a 24-byte
+/// [`Frame`] in a reusable buffer instead of a native call frame carrying
+/// a dozen spilled arguments.
+#[allow(clippy::too_many_arguments)]
+fn walk_iterative<S: WordStore, F: HashFn>(
+    tree: &FrozenTree<S>,
+    hash: &F,
+    txn: &[Item],
+    memo: Option<&[u32]>,
+    ctx: VisitCtx,
+    scratch: &mut CountScratch,
+    counter: &mut CounterRef<'_>,
+    meter: &mut WorkMeter,
+) {
+    let mut frames = std::mem::take(&mut scratch.frames);
+    frames.clear();
+    if let Some(f) = enter_node(
+        tree, txn, tree.root, 0, 0, 0, 0, ctx, scratch, counter, meter,
+    ) {
+        frames.push(f);
+    }
+    while let Some(top) = frames.last_mut() {
+        if top.i > top.last {
+            frames.pop();
+            continue;
+        }
+        let i = top.i as usize;
+        top.i += 1;
+        let (handle, depth, sig) = (top.handle, top.depth, top.sig);
+        let child_cell = cell_at(hash, txn, memo, i);
+        let child = tree.store.load(handle, 1 + child_cell);
+        if child != NULL_HANDLE {
+            if let Some(f) = enter_node(
+                tree,
+                txn,
+                child,
+                i + 1,
+                depth + 1,
+                child_cell,
+                (sig << ctx.bits) | u64::from(child_cell),
+                ctx,
+                scratch,
+                counter,
+                meter,
+            ) {
+                frames.push(f);
+            }
+        }
+    }
+    scratch.frames = frames;
 }
 
 #[inline]
@@ -416,6 +673,7 @@ impl AnyFrozenTree {
         hash: &F,
         db: &Database,
         range: Range<usize>,
+        filter: Option<&ItemFilter>,
         scratch: &mut CountScratch,
         counter: &mut CounterRef<'_>,
         opts: CountOptions,
@@ -423,10 +681,10 @@ impl AnyFrozenTree {
     ) {
         match self {
             AnyFrozenTree::Contiguous(t) => {
-                count_partition(t, hash, db, range, scratch, counter, opts, meter)
+                count_partition(t, hash, db, range, filter, scratch, counter, opts, meter)
             }
             AnyFrozenTree::Scatter(t) => {
-                count_partition(t, hash, db, range, scratch, counter, opts, meter)
+                count_partition(t, hash, db, range, filter, scratch, counter, opts, meter)
             }
         }
     }
@@ -437,6 +695,7 @@ impl AnyFrozenTree {
         &self,
         hash: &F,
         txn: &[Item],
+        filter: Option<&ItemFilter>,
         scratch: &mut CountScratch,
         counter: &mut CounterRef<'_>,
         opts: CountOptions,
@@ -444,10 +703,10 @@ impl AnyFrozenTree {
     ) {
         match self {
             AnyFrozenTree::Contiguous(t) => {
-                count_transaction(t, hash, txn, scratch, counter, opts, meter)
+                count_transaction(t, hash, txn, filter, scratch, counter, opts, meter)
             }
             AnyFrozenTree::Scatter(t) => {
-                count_transaction(t, hash, txn, scratch, counter, opts, meter)
+                count_transaction(t, hash, txn, filter, scratch, counter, opts, meter)
             }
         }
     }
@@ -499,7 +758,12 @@ mod tests {
     fn paper_db() -> Database {
         Database::from_transactions(
             8,
-            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+            [
+                vec![1u32, 4, 5],
+                vec![1, 2],
+                vec![3, 4, 5],
+                vec![1, 2, 4, 5],
+            ],
         )
         .unwrap()
     }
@@ -530,12 +794,13 @@ mod tests {
         assert_eq!(naive_counts(&cands, &db), vec![2, 2, 2, 1, 1, 3]);
     }
 
-    fn tree_counts(
+    fn tree_counts_opts(
         policy: PlacementPolicy,
         cands: &CandidateSet,
         db: &Database,
         hash: &dyn HashFn,
-        short_circuit: bool,
+        opts: CountOptions,
+        trim: bool,
     ) -> Vec<u32> {
         // dyn HashFn is fine for tests.
         struct Dyn<'a>(&'a dyn HashFn);
@@ -551,24 +816,66 @@ mod tests {
         let b = TreeBuilder::new(cands, &hash, 2);
         b.insert_all();
         let tree = freeze_policy(&b, policy);
+        let filter = trim.then(|| ItemFilter::from_candidates(cands, db.n_items()));
+        let filter = filter.as_ref();
         let mut scratch = CountScratch::new(db.n_items(), tree.n_nodes());
         let mut meter = WorkMeter::default();
-        let opts = CountOptions { short_circuit, ..CountOptions::default() };
         if tree.counters_inline() {
             let mut cref = CounterRef::Inline;
-            tree.count_partition(&hash, db, 0..db.len(), &mut scratch, &mut cref, opts, &mut meter);
+            tree.count_partition(
+                &hash,
+                db,
+                0..db.len(),
+                filter,
+                &mut scratch,
+                &mut cref,
+                opts,
+                &mut meter,
+            );
             tree.inline_counts()
         } else if policy.per_thread_counters() {
             let mut local = arm_mem::LocalCounters::new(cands.len());
             let mut cref = CounterRef::Local(&mut local);
-            tree.count_partition(&hash, db, 0..db.len(), &mut scratch, &mut cref, opts, &mut meter);
+            tree.count_partition(
+                &hash,
+                db,
+                0..db.len(),
+                filter,
+                &mut scratch,
+                &mut cref,
+                opts,
+                &mut meter,
+            );
             arm_mem::counters::reduce(&[local])
         } else {
             let shared = FlatCounters::new(cands.len());
             let mut cref = CounterRef::Shared(&shared);
-            tree.count_partition(&hash, db, 0..db.len(), &mut scratch, &mut cref, opts, &mut meter);
+            tree.count_partition(
+                &hash,
+                db,
+                0..db.len(),
+                filter,
+                &mut scratch,
+                &mut cref,
+                opts,
+                &mut meter,
+            );
             shared.snapshot()
         }
+    }
+
+    fn tree_counts(
+        policy: PlacementPolicy,
+        cands: &CandidateSet,
+        db: &Database,
+        hash: &dyn HashFn,
+        short_circuit: bool,
+    ) -> Vec<u32> {
+        let opts = CountOptions {
+            short_circuit,
+            ..CountOptions::default()
+        };
+        tree_counts_opts(policy, cands, db, hash, opts, false)
     }
 
     #[test]
@@ -581,8 +888,16 @@ mod tests {
         for policy in PlacementPolicy::ALL {
             for h in &hashes {
                 for sc in [false, true] {
-                    let got = tree_counts(policy, &cands, &db, h.as_ref(), sc);
-                    assert_eq!(got, expected, "{policy} sc={sc}");
+                    for fast in [false, true] {
+                        let opts = CountOptions {
+                            short_circuit: sc,
+                            visited: VisitedMode::PerNode,
+                            hash_memo: fast,
+                            iterative: fast,
+                        };
+                        let got = tree_counts_opts(policy, &cands, &db, h.as_ref(), opts, fast);
+                        assert_eq!(got, expected, "{policy} sc={sc} fast={fast}");
+                    }
                 }
             }
         }
@@ -606,6 +921,158 @@ mod tests {
         let h = ModHash::new(2);
         let got = tree_counts(PlacementPolicy::Spp, &cands, &db, &h, true);
         assert_eq!(got, vec![0]);
+    }
+
+    /// The iterative and recursive walks must not merely agree on counts —
+    /// their WorkMeter tallies must be bit-identical, since the simulated
+    /// speedup model is built on those tallies.
+    #[test]
+    fn iterative_walk_meter_is_bit_identical() {
+        let db = paper_db();
+        let cands = c2();
+        let h = BitonicHash::new(3);
+        let b = TreeBuilder::new(&cands, &h, 2);
+        b.insert_all();
+        for visited in [VisitedMode::PerNode, VisitedMode::LevelPath] {
+            for sc in [false, true] {
+                for memo in [false, true] {
+                    let mut meters = Vec::new();
+                    for iterative in [false, true] {
+                        let tree = freeze_policy(&b, PlacementPolicy::Gpp);
+                        let mut scratch = CountScratch::new(db.n_items(), tree.n_nodes());
+                        let mut meter = WorkMeter::default();
+                        let mut cref = CounterRef::Inline;
+                        let opts = CountOptions {
+                            short_circuit: sc,
+                            visited,
+                            hash_memo: memo,
+                            iterative,
+                        };
+                        tree.count_partition(
+                            &h,
+                            &db,
+                            0..db.len(),
+                            None,
+                            &mut scratch,
+                            &mut cref,
+                            opts,
+                            &mut meter,
+                        );
+                        assert_eq!(tree.inline_counts(), naive_counts(&cands, &db));
+                        meters.push(meter);
+                    }
+                    assert_eq!(
+                        meters[0], meters[1],
+                        "visited={visited:?} sc={sc} memo={memo}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn item_filter_retains_only_candidate_items() {
+        let cands = c2(); // items {1, 2, 4, 5}
+        let f = ItemFilter::from_candidates(&cands, 8);
+        for i in [1u32, 2, 4, 5] {
+            assert!(f.contains(i), "item {i}");
+        }
+        for i in [0u32, 3, 6, 7] {
+            assert!(!f.contains(i), "item {i}");
+        }
+        let mut out = vec![9u32]; // stale contents must be cleared
+        f.retain_into(&[0, 1, 2, 3, 4, 5, 6, 7], &mut out);
+        assert_eq!(out, vec![1, 2, 4, 5]);
+
+        let g = ItemFilter::from_items([0u32, 65, 127], 128);
+        assert!(g.contains(65) && g.contains(0) && g.contains(127));
+        assert!(!g.contains(64) && !g.contains(1));
+    }
+
+    /// Trimming edge cases: a transaction trimmed below k items (or to
+    /// nothing) must simply count zero, and a transaction of all-frequent
+    /// items must count exactly as if untrimmed.
+    #[test]
+    fn trimming_edge_cases() {
+        let mut cands = CandidateSet::new(2);
+        cands.push(&[1, 4]);
+        let h = ModHash::new(3);
+        let db = Database::from_transactions(
+            16,
+            [
+                vec![1u32, 4, 7],      // all of {1,4} present + noise → count
+                vec![1u32, 7, 9, 12],  // trims to [1]: below k
+                vec![7u32, 9, 12, 15], // trims to empty
+                vec![1u32, 4],         // all items frequent: untouched by trim
+            ],
+        )
+        .unwrap();
+        for trim in [false, true] {
+            let got = tree_counts_opts(
+                PlacementPolicy::Gpp,
+                &cands,
+                &db,
+                &h,
+                CountOptions::default(),
+                trim,
+            );
+            assert_eq!(got, vec![2], "trim={trim}");
+        }
+    }
+
+    /// Trimming must reduce the walk's work (that is its whole point) on
+    /// transactions carrying non-candidate noise. Short-circuiting is off
+    /// here so the reduction shows in the visit tally — with stamps on,
+    /// every node is entered at most once per transaction either way and
+    /// the saving moves to the per-position hash/probe loop instead.
+    #[test]
+    fn trimming_reduces_node_visits() {
+        let mut cands = CandidateSet::new(3);
+        cands.push(&[0, 2, 4]);
+        cands.push(&[0, 4, 6]);
+        let h = ModHash::new(4);
+        let b = TreeBuilder::new(&cands, &h, 1);
+        b.insert_all();
+        // Transactions heavy in items 8..32, none of which appear in a
+        // candidate.
+        let txns: Vec<Vec<u32>> = (0..8)
+            .map(|t| {
+                let mut v: Vec<u32> = vec![0, 2, 4, 6];
+                v.extend((8..32).filter(|i| (i + t) % 3 != 0));
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let db = Database::from_transactions(32, txns).unwrap();
+        let mut visits = Vec::new();
+        for trim in [false, true] {
+            let tree = freeze_policy(&b, PlacementPolicy::Gpp);
+            let filter = trim.then(|| ItemFilter::from_candidates(&cands, db.n_items()));
+            let mut scratch = CountScratch::new(db.n_items(), tree.n_nodes());
+            let mut meter = WorkMeter::default();
+            let mut cref = CounterRef::Inline;
+            tree.count_partition(
+                &h,
+                &db,
+                0..db.len(),
+                filter.as_ref(),
+                &mut scratch,
+                &mut cref,
+                CountOptions {
+                    short_circuit: false,
+                    ..CountOptions::default()
+                },
+                &mut meter,
+            );
+            assert_eq!(tree.inline_counts(), vec![8, 8], "trim={trim}");
+            visits.push(meter.node_visits);
+        }
+        assert!(
+            visits[1] < visits[0],
+            "trimmed visits {} !< untrimmed visits {}",
+            visits[1],
+            visits[0]
+        );
     }
 
     #[test]
@@ -635,9 +1102,13 @@ mod tests {
                 &h,
                 &db,
                 0..db.len(),
+                None,
                 &mut scratch,
                 &mut cref,
-                CountOptions { short_circuit: sc, ..CountOptions::default() },
+                CountOptions {
+                    short_circuit: sc,
+                    ..CountOptions::default()
+                },
                 &mut meter,
             );
             visits.push(meter.node_visits);
@@ -663,7 +1134,7 @@ mod tests {
         for trial in 0..12 {
             let n_items = 16u32;
             let k = 2 + trial % 3; // 2..=4
-            // Random candidate set.
+                                   // Random candidate set.
             let mut raw: Vec<Vec<u32>> = Vec::new();
             for _ in 0..40 {
                 let mut s: Vec<u32> = (0..n_items).collect();
@@ -703,11 +1174,13 @@ mod tests {
                         &hash,
                         &db,
                         0..db.len(),
+                        None,
                         &mut scratch,
                         &mut cref,
                         CountOptions {
                             short_circuit: true,
                             visited,
+                            ..CountOptions::default()
                         },
                         &mut meter,
                     );
@@ -745,7 +1218,11 @@ mod tests {
         b.insert_all();
         let tree = freeze_policy(&b, PlacementPolicy::Gpp);
         let db = Database::from_transactions(40, [(0..20u32).collect::<Vec<_>>()]).unwrap();
-        assert!(tree.n_nodes() > 1000, "need a big tree, got {}", tree.n_nodes());
+        assert!(
+            tree.n_nodes() > 1000,
+            "need a big tree, got {}",
+            tree.n_nodes()
+        );
 
         let measure = |visited: VisitedMode| {
             let mut scratch = CountScratch::new(60, tree.n_nodes());
@@ -760,11 +1237,13 @@ mod tests {
                 &h,
                 &db,
                 0..db.len(),
+                None,
                 &mut scratch,
                 &mut cref,
                 CountOptions {
                     short_circuit: true,
                     visited,
+                    ..CountOptions::default()
                 },
                 &mut meter,
             );
@@ -788,8 +1267,7 @@ mod tests {
         let b = TreeBuilder::new(&cands, &h, 1);
         b.insert_all();
         let tree = freeze_policy(&b, PlacementPolicy::Spp);
-        let db =
-            Database::from_transactions(300, [(0..10u32).collect::<Vec<_>>()]).unwrap();
+        let db = Database::from_transactions(300, [(0..10u32).collect::<Vec<_>>()]).unwrap();
         let mut scratch = CountScratch::new(300, tree.n_nodes());
         let mut meter = WorkMeter::default();
         let mut cref = CounterRef::Inline;
@@ -797,11 +1275,13 @@ mod tests {
             &h,
             &db,
             0..db.len(),
+            None,
             &mut scratch,
             &mut cref,
             CountOptions {
                 short_circuit: true,
                 visited: VisitedMode::LevelPath,
+                ..CountOptions::default()
             },
             &mut meter,
         );

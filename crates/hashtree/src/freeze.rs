@@ -182,7 +182,10 @@ impl AnyFrozenTree {
 }
 
 /// Freezes `tree` according to `policy`.
-pub fn freeze_policy<F: HashFn>(tree: &TreeBuilder<'_, F>, policy: PlacementPolicy) -> AnyFrozenTree {
+pub fn freeze_policy<F: HashFn>(
+    tree: &TreeBuilder<'_, F>,
+    policy: PlacementPolicy,
+) -> AnyFrozenTree {
     let order = policy.emit_order();
     let layout = policy.leaf_layout();
     let counters = policy.counter_placement();

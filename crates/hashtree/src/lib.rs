@@ -44,6 +44,7 @@
 //!     &hash,
 //!     &db,
 //!     0..db.len(),
+//!     None, // no transaction trimming
 //!     &mut scratch,
 //!     &mut CounterRef::Inline,
 //!     CountOptions::default(),
@@ -62,7 +63,7 @@ pub use build::TreeBuilder;
 pub use candidates::CandidateSet;
 pub use count::{
     count_partition, count_transaction, is_subset, naive_counts, CountOptions, CountScratch,
-    CounterRef, VisitedMode, WorkMeter,
+    CounterRef, ItemFilter, VisitedMode, WorkMeter,
 };
 pub use freeze::{freeze_policy, freeze_with, AnyFrozenTree, FrozenTree};
 pub use policy::{CounterPlacement, EmitOrder, LeafLayout, PlacementPolicy, StoreKind};

@@ -1,12 +1,13 @@
 //! Property tests: the hash-tree counting kernel must agree with naive
 //! subset counting for every placement policy, hash function, visited
-//! mode, and short-circuit setting, over arbitrary candidate sets and
-//! databases.
+//! mode, short-circuit setting, and fast-path knob (hash memoization,
+//! transaction trimming, explicit-stack traversal), over arbitrary
+//! candidate sets and databases.
 
-use arm_balance::{BitonicHash, HashFn, ModHash};
+use arm_balance::{BitonicHash, HashFn, IndirectionHash, ModHash};
 use arm_dataset::Database;
 use arm_hashtree::{
-    freeze_policy, naive_counts, CandidateSet, CountOptions, CountScratch, CounterRef,
+    freeze_policy, naive_counts, CandidateSet, CountOptions, CountScratch, CounterRef, ItemFilter,
     PlacementPolicy, TreeBuilder, VisitedMode, WorkMeter,
 };
 use proptest::collection::{btree_set, vec};
@@ -31,6 +32,21 @@ fn database() -> impl Strategy<Value = Database> {
         .prop_map(|txns| Database::from_transactions(N_ITEMS, txns).unwrap())
 }
 
+/// The three hash families under test; `Indirection` is built over the
+/// distinct candidate items (standing in for F1).
+fn make_hash(kind: usize, fanout: u32, cands: &CandidateSet) -> Box<dyn HashFn> {
+    match kind {
+        0 => Box::new(ModHash::new(fanout)),
+        1 => Box::new(BitonicHash::new(fanout)),
+        _ => {
+            let items: std::collections::BTreeSet<u32> =
+                cands.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+            let items: Vec<u32> = items.into_iter().collect();
+            Box::new(IndirectionHash::for_frequent_items(&items, N_ITEMS, fanout))
+        }
+    }
+}
+
 fn count_with(
     cands: &CandidateSet,
     db: &Database,
@@ -38,6 +54,7 @@ fn count_with(
     policy: PlacementPolicy,
     threshold: usize,
     opts: CountOptions,
+    trim: bool,
 ) -> Vec<u32> {
     struct Dyn<'a>(&'a dyn HashFn);
     impl HashFn for Dyn<'_> {
@@ -52,6 +69,8 @@ fn count_with(
     let b = TreeBuilder::new(cands, &hash, threshold);
     b.insert_all();
     let tree = freeze_policy(&b, policy);
+    let filter = trim.then(|| ItemFilter::from_candidates(cands, N_ITEMS));
+    let filter = filter.as_ref();
     let mut scratch = CountScratch::new(N_ITEMS, tree.n_nodes());
     let mut meter = WorkMeter::default();
     if tree.counters_inline() {
@@ -59,6 +78,7 @@ fn count_with(
             &hash,
             db,
             0..db.len(),
+            filter,
             &mut scratch,
             &mut CounterRef::Inline,
             opts,
@@ -71,6 +91,7 @@ fn count_with(
             &hash,
             db,
             0..db.len(),
+            filter,
             &mut scratch,
             &mut CounterRef::Shared(&shared),
             opts,
@@ -90,19 +111,20 @@ proptest! {
         policy_ix in 0usize..8,
         fanout in 2u32..6,
         threshold in 1usize..5,
-        bitonic in any::<bool>(),
+        hash_kind in 0usize..3,
         short_circuit in any::<bool>(),
         level_path in any::<bool>(),
+        hash_memo in any::<bool>(),
+        iterative in any::<bool>(),
+        trim in any::<bool>(),
     ) {
         let expected = naive_counts(&cands, &db);
-        let hash: Box<dyn HashFn> = if bitonic {
-            Box::new(BitonicHash::new(fanout))
-        } else {
-            Box::new(ModHash::new(fanout))
-        };
+        let hash = make_hash(hash_kind, fanout, &cands);
         let opts = CountOptions {
             short_circuit,
             visited: if level_path { VisitedMode::LevelPath } else { VisitedMode::PerNode },
+            hash_memo,
+            iterative,
         };
         let got = count_with(
             &cands,
@@ -111,6 +133,7 @@ proptest! {
             PlacementPolicy::ALL[policy_ix],
             threshold,
             opts,
+            trim,
         );
         prop_assert_eq!(got, expected);
     }
@@ -130,8 +153,70 @@ proptest! {
             PlacementPolicy::Spp,
             2,
             CountOptions::default(),
+            false,
         );
         prop_assert_eq!(got, expected);
+    }
+
+    /// Transaction trimming is lossless: trimmed and untrimmed runs
+    /// produce identical counts for every knob setting that shares them.
+    #[test]
+    fn trimming_is_lossless(
+        cands in candidates(3),
+        db in database(),
+        policy_ix in 0usize..8,
+        fanout in 2u32..6,
+        threshold in 1usize..5,
+        hash_kind in 0usize..3,
+    ) {
+        let hash = make_hash(hash_kind, fanout, &cands);
+        let policy = PlacementPolicy::ALL[policy_ix];
+        let opts = CountOptions::default();
+        let untrimmed = count_with(&cands, &db, hash.as_ref(), policy, threshold, opts, false);
+        let trimmed = count_with(&cands, &db, hash.as_ref(), policy, threshold, opts, true);
+        prop_assert_eq!(trimmed, untrimmed);
+    }
+
+    /// The explicit-stack walk is observationally identical to the
+    /// recursive one: same counts AND bit-identical work meters.
+    #[test]
+    fn iterative_walk_matches_recursive(
+        cands in candidates(3),
+        db in database(),
+        fanout in 2u32..6,
+        short_circuit in any::<bool>(),
+        level_path in any::<bool>(),
+        hash_memo in any::<bool>(),
+    ) {
+        let hash = ModHash::new(fanout);
+        let run = |iterative: bool| {
+            let b = TreeBuilder::new(&cands, &hash, 2);
+            b.insert_all();
+            let tree = freeze_policy(&b, PlacementPolicy::Gpp);
+            let mut scratch = CountScratch::new(N_ITEMS, tree.n_nodes());
+            let mut meter = WorkMeter::default();
+            let opts = CountOptions {
+                short_circuit,
+                visited: if level_path { VisitedMode::LevelPath } else { VisitedMode::PerNode },
+                hash_memo,
+                iterative,
+            };
+            tree.count_partition(
+                &hash,
+                &db,
+                0..db.len(),
+                None,
+                &mut scratch,
+                &mut CounterRef::Inline,
+                opts,
+                &mut meter,
+            );
+            (tree.inline_counts(), meter)
+        };
+        let (counts_rec, meter_rec) = run(false);
+        let (counts_it, meter_it) = run(true);
+        prop_assert_eq!(counts_rec, counts_it);
+        prop_assert_eq!(meter_rec, meter_it);
     }
 
     /// Parallel insertion produces the same frozen image counts as
@@ -167,6 +252,7 @@ proptest! {
                 &hash,
                 &db,
                 0..db.len(),
+                None,
                 &mut scratch,
                 &mut CounterRef::Inline,
                 CountOptions::default(),
@@ -194,6 +280,7 @@ proptest! {
                 &hash,
                 &db,
                 0..db.len(),
+                None,
                 &mut scratch,
                 &mut CounterRef::Inline,
                 CountOptions { short_circuit: sc, ..CountOptions::default() },

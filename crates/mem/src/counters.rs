@@ -127,9 +127,7 @@ pub struct LocalCounters {
 impl LocalCounters {
     /// Allocates `n` zeroed private counters.
     pub fn new(n: usize) -> Self {
-        LocalCounters {
-            slots: vec![0; n],
-        }
+        LocalCounters { slots: vec![0; n] }
     }
 
     /// Increments counter `id` (no synchronization: the array is private).

@@ -93,9 +93,8 @@ impl<T> StableVec<T> {
         assert!(c < CHUNKS, "StableVec capacity exhausted");
         let mut chunk = self.chunks[c].load(Ordering::Relaxed);
         if chunk.is_null() {
-            let boxed: Box<[MaybeUninit<T>]> = (0..chunk_cap(c))
-                .map(|_| MaybeUninit::uninit())
-                .collect();
+            let boxed: Box<[MaybeUninit<T>]> =
+                (0..chunk_cap(c)).map(|_| MaybeUninit::uninit()).collect();
             chunk = Box::into_raw(boxed) as *mut MaybeUninit<T>;
             // Publish the chunk before the new length becomes visible.
             self.chunks[c].store(chunk, Ordering::Release);

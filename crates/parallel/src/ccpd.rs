@@ -17,15 +17,17 @@
 //! in [`crate::stats`].
 
 use crate::config::{DbPartition, ParallelConfig};
+use crate::scratch::ScratchPool;
 use crate::stats::{ParallelRunStats, PhaseStat};
 use arm_core::f1::{count_pair_buckets, pair_bucket};
 use arm_core::{
-    adaptive_fanout, class_weight, equivalence_classes, f1_items, frequent_from_counts,
-    generate_class, make_hash, count_singletons, FrequentLevel, IterStats, MiningResult,
+    adaptive_fanout, class_weight, count_singletons, equivalence_classes, f1_items,
+    frequent_from_counts, generate_class, make_hash, FrequentLevel, IterStats, MiningResult,
 };
 use arm_dataset::{block_ranges, weighted_ranges, weighted_ranges_for_k, Database};
 use arm_hashtree::{
-    freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, TreeBuilder, WorkMeter,
+    freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, ItemFilter, TreeBuilder,
+    WorkMeter,
 };
 use arm_mem::counters::reduce;
 use arm_mem::{FlatCounters, LocalCounters};
@@ -83,6 +85,12 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
     });
 
     let f1_item_list = f1_items(&f1);
+    // With `reuse_scratch`, one counting scratch per worker lives across
+    // all iterations (re-targeted per tree) instead of being reallocated.
+    let scratch_pool = cfg
+        .base
+        .reuse_scratch
+        .then(|| ScratchPool::new(p, db.n_items()));
     let mut iter_stats = vec![IterStats {
         k: 1,
         n_candidates: db.n_items() as usize,
@@ -110,22 +118,21 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         let t0 = Instant::now();
         let classes = equivalence_classes(prev);
         let weights: Vec<u64> = classes.iter().map(class_weight).collect();
-        let (cands, candgen_work, join_pairs) =
-            if p > 1 && prev.len() >= cfg.parallel_candgen_min {
-                parallel_candgen(prev, &classes, &weights, cfg, p)
-            } else {
-                // Adaptive parallelism: not enough frequent itemsets to be
-                // worth forking (§3.1.3).
-                let mut out = CandidateSet::new(k);
-                let mut scratch = Vec::with_capacity(k as usize);
-                let mut pairs = 0u64;
-                for class in &classes {
-                    pairs += generate_class(prev, class.clone(), &mut out, &mut scratch);
-                }
-                let mut work = vec![0u64; p];
-                work[0] = pairs;
-                (out, work, pairs)
-            };
+        let (cands, candgen_work, join_pairs) = if p > 1 && prev.len() >= cfg.parallel_candgen_min {
+            parallel_candgen(prev, &classes, &weights, cfg, p)
+        } else {
+            // Adaptive parallelism: not enough frequent itemsets to be
+            // worth forking (§3.1.3).
+            let mut out = CandidateSet::new(k);
+            let mut scratch = Vec::with_capacity(k as usize);
+            let mut pairs = 0u64;
+            for class in &classes {
+                pairs += generate_class(prev, class.clone(), &mut out, &mut scratch);
+            }
+            let mut work = vec![0u64; p];
+            work[0] = pairs;
+            (out, work, pairs)
+        };
         let cands = if k == 2 {
             if let (Some(m), Some(table)) = (pair_buckets, pair_table.as_ref()) {
                 cands.filtered(|_, it| table[pair_bucket(it[0], it[1], m)] >= min_support)
@@ -191,13 +198,32 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         let opts = CountOptions {
             short_circuit: cfg.base.short_circuit,
             visited: cfg.base.visited,
+            hash_memo: cfg.base.hash_memo,
+            iterative: cfg.base.iterative_walk,
         };
+        // Shared read-only trim filter for this iteration's candidates.
+        let filter = cfg
+            .base
+            .trim_transactions
+            .then(|| ItemFilter::from_candidates(&cands, db.n_items()));
         let inline = tree.counters_inline();
         let per_thread = cfg.base.placement.per_thread_counters();
         let shared = (!inline && !per_thread).then(|| FlatCounters::new(cands.len()));
 
         let outcomes: Vec<(WorkMeter, Option<LocalCounters>)> = run_threads(p, |t| {
-            let mut scratch = CountScratch::new(db.n_items(), tree.n_nodes());
+            let mut pooled;
+            let mut fresh;
+            let scratch: &mut CountScratch = match &scratch_pool {
+                Some(pool) => {
+                    pooled = pool.slot(t);
+                    pooled.retarget(tree.n_nodes());
+                    &mut pooled
+                }
+                None => {
+                    fresh = CountScratch::new(db.n_items(), tree.n_nodes());
+                    &mut fresh
+                }
+            };
             let mut meter = WorkMeter::default();
             let mut local = per_thread.then(|| LocalCounters::new(cands.len()));
             {
@@ -212,7 +238,8 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
                     &hash,
                     db,
                     db_ranges[t].clone(),
-                    &mut scratch,
+                    filter.as_ref(),
+                    scratch,
                     &mut cref,
                     opts,
                     &mut meter,
@@ -394,7 +421,12 @@ mod tests {
     fn paper_db() -> Database {
         Database::from_transactions(
             8,
-            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+            [
+                vec![1u32, 4, 5],
+                vec![1, 2],
+                vec![3, 4, 5],
+                vec![1, 2, 4, 5],
+            ],
         )
         .unwrap()
     }
@@ -425,10 +457,14 @@ mod tests {
         let db = paper_db();
         let expected = mine_seq(&db, &base_cfg()).all_itemsets();
         for policy in PlacementPolicy::ALL {
-            for scheme in [Scheme::Block, Scheme::Interleaved, Scheme::Bitonic, Scheme::Greedy]
-            {
-                let mut cfg = ParallelConfig::new(base_cfg().with_placement(policy), 3)
-                    .with_candgen(scheme);
+            for scheme in [
+                Scheme::Block,
+                Scheme::Interleaved,
+                Scheme::Bitonic,
+                Scheme::Greedy,
+            ] {
+                let mut cfg =
+                    ParallelConfig::new(base_cfg().with_placement(policy), 3).with_candgen(scheme);
                 cfg.parallel_candgen_min = 1; // force parallel candgen
                 let (r, _) = mine(&db, &cfg);
                 assert_eq!(r.all_itemsets(), expected, "{policy} {scheme:?}");

@@ -7,6 +7,8 @@
 //!   duplicated scans make it a speed-down (kept for the comparison);
 //! * [`config`] — thread count, candidate-generation balancing scheme,
 //!   database partition heuristic;
+//! * [`scratch`] — the per-worker counting-scratch pool both drivers keep
+//!   alive across iterations;
 //! * [`stats`] — per-phase wall/work records and the simulated-speedup
 //!   model documented in DESIGN.md.
 //!
@@ -33,7 +35,9 @@
 pub mod ccpd;
 pub mod config;
 pub mod pccd;
+pub mod scratch;
 pub mod stats;
 
 pub use config::{DbPartition, ParallelConfig};
+pub use scratch::ScratchPool;
 pub use stats::{ParallelRunStats, PhaseStat};

@@ -8,14 +8,16 @@
 
 use crate::ccpd::run_threads;
 use crate::config::ParallelConfig;
+use crate::scratch::ScratchPool;
 use crate::stats::{ParallelRunStats, PhaseStat};
 use arm_core::{
-    adaptive_fanout, equivalence_classes, f1_items, frequent_from_counts, generate_class,
-    make_hash, count_singletons, FrequentLevel, IterStats, MiningResult,
+    adaptive_fanout, count_singletons, equivalence_classes, f1_items, frequent_from_counts,
+    generate_class, make_hash, FrequentLevel, IterStats, MiningResult,
 };
 use arm_dataset::Database;
 use arm_hashtree::{
-    freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, TreeBuilder, WorkMeter,
+    freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, ItemFilter, TreeBuilder,
+    WorkMeter,
 };
 use arm_mem::LocalCounters;
 use std::time::Instant;
@@ -42,6 +44,11 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
     });
 
     let f1_item_list = f1_items(&f1);
+    // Same pooling as CCPD: one scratch per worker across all iterations.
+    let scratch_pool = cfg
+        .base
+        .reuse_scratch
+        .then(|| ScratchPool::new(p, db.n_items()));
     let mut iter_stats = vec![IterStats {
         k: 1,
         n_candidates: db.n_items() as usize,
@@ -101,6 +108,8 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         let opts = CountOptions {
             short_circuit: cfg.base.short_circuit,
             visited: cfg.base.visited,
+            hash_memo: cfg.base.hash_memo,
+            iterative: cfg.base.iterative_walk,
         };
         // (global candidate ids, their counts, meter, tree bytes, tree nodes)
         type ThreadOutcome = (Vec<u32>, Vec<u32>, WorkMeter, usize, u32);
@@ -117,10 +126,38 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
             let builder = TreeBuilder::new(&local_set, &hash, cfg.base.leaf_threshold);
             builder.insert_all();
             let tree = freeze_policy(&builder, cfg.base.placement);
-            let mut scratch = CountScratch::new(db.n_items(), tree.n_nodes());
+            // Each worker trims against its *own* candidate subset — a
+            // tighter (still lossless) filter than the global one.
+            let filter = cfg
+                .base
+                .trim_transactions
+                .then(|| ItemFilter::from_candidates(&local_set, db.n_items()));
+            let filter = filter.as_ref();
+            let mut pooled;
+            let mut fresh;
+            let scratch: &mut CountScratch = match &scratch_pool {
+                Some(pool) => {
+                    pooled = pool.slot(t);
+                    pooled.retarget(tree.n_nodes());
+                    &mut pooled
+                }
+                None => {
+                    fresh = CountScratch::new(db.n_items(), tree.n_nodes());
+                    &mut fresh
+                }
+            };
             let local_counts: Vec<u32> = if tree.counters_inline() {
                 let mut cref = CounterRef::Inline;
-                tree.count_partition(&hash, db, 0..db.len(), &mut scratch, &mut cref, opts, &mut meter);
+                tree.count_partition(
+                    &hash,
+                    db,
+                    0..db.len(),
+                    filter,
+                    scratch,
+                    &mut cref,
+                    opts,
+                    &mut meter,
+                );
                 tree.inline_counts()
             } else {
                 let mut local = LocalCounters::new(local_set.len());
@@ -130,7 +167,8 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
                         &hash,
                         db,
                         0..db.len(),
-                        &mut scratch,
+                        filter,
+                        scratch,
                         &mut cref,
                         opts,
                         &mut meter,
@@ -139,9 +177,18 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
                 local.slots().to_vec()
             };
             let ids_u32: Vec<u32> = ids.iter().map(|&i| i as u32).collect();
-            (ids_u32, local_counts, meter, tree.total_bytes(), tree.n_nodes())
+            (
+                ids_u32,
+                local_counts,
+                meter,
+                tree.total_bytes(),
+                tree.n_nodes(),
+            )
         });
-        let count_work: Vec<u64> = outcomes.iter().map(|(_, _, m, _, _)| m.work_units()).collect();
+        let count_work: Vec<u64> = outcomes
+            .iter()
+            .map(|(_, _, m, _, _)| m.work_units())
+            .collect();
         for (rm, (_, _, m, _, _)) in run_meters.iter_mut().zip(&outcomes) {
             rm.merge(m);
         }
@@ -226,7 +273,12 @@ mod tests {
     fn paper_db() -> Database {
         Database::from_transactions(
             8,
-            [vec![1u32, 4, 5], vec![1, 2], vec![3, 4, 5], vec![1, 2, 4, 5]],
+            [
+                vec![1u32, 4, 5],
+                vec![1, 2],
+                vec![3, 4, 5],
+                vec![1, 2, 4, 5],
+            ],
         )
         .unwrap()
     }
@@ -252,10 +304,16 @@ mod tests {
     #[test]
     fn duplicated_scan_work_exceeds_ccpd() {
         // PCCD's defining pathology: total counting work grows with P
-        // because every thread scans the full database.
+        // because every thread scans the full database. Trimming is off so
+        // the transaction tallies reflect the raw duplicated scans (PCCD's
+        // per-thread filters would otherwise skip trimmed-short txns).
         let db = paper_db();
-        let (_, ccpd_stats) = ccpd::mine(&db, &ParallelConfig::new(base_cfg(), 3));
-        let (_, pccd_stats) = mine(&db, &ParallelConfig::new(base_cfg(), 3));
+        let cfg = AprioriConfig {
+            trim_transactions: false,
+            ..base_cfg()
+        };
+        let (_, ccpd_stats) = ccpd::mine(&db, &ParallelConfig::new(cfg.clone(), 3));
+        let (_, pccd_stats) = mine(&db, &ParallelConfig::new(cfg, 3));
         let ccpd_txns: u64 = ccpd_stats.count_meters.iter().map(|m| m.txns).sum();
         let pccd_txns: u64 = pccd_stats.count_meters.iter().map(|m| m.txns).sum();
         assert!(

@@ -94,7 +94,11 @@ impl ParallelRunStats {
                     seq += w;
                     // A phase that recorded no work units still took `w`
                     // seconds of overhead; treat it as unshrinkable.
-                    par += if sum > 0 { w * max as f64 / sum as f64 } else { w };
+                    par += if sum > 0 {
+                        w * max as f64 / sum as f64
+                    } else {
+                        w
+                    };
                 }
             }
         }
@@ -119,7 +123,11 @@ impl ParallelRunStats {
                 Some(tw) => {
                     let sum: u64 = tw.iter().sum();
                     let max = tw.iter().copied().max().unwrap_or(0);
-                    par += if sum > 0 { w * max as f64 / sum as f64 } else { w };
+                    par += if sum > 0 {
+                        w * max as f64 / sum as f64
+                    } else {
+                        w
+                    };
                 }
             }
         }
@@ -146,7 +154,11 @@ impl ParallelRunStats {
                 Some(tw) => {
                     let sum: u64 = tw.iter().sum();
                     let max = tw.iter().copied().max().unwrap_or(0);
-                    par += if sum > 0 { w * max as f64 / sum as f64 } else { w };
+                    par += if sum > 0 {
+                        w * max as f64 / sum as f64
+                    } else {
+                        w
+                    };
                 }
             }
         }
@@ -171,11 +183,7 @@ impl ParallelRunStats {
         self.phases
             .iter()
             .filter(|p| p.name == phase_name)
-            .max_by_key(|p| {
-                p.thread_work
-                    .as_ref()
-                    .map_or(0, |w| w.iter().sum::<u64>())
-            })
+            .max_by_key(|p| p.thread_work.as_ref().map_or(0, |w| w.iter().sum::<u64>()))
             .map_or(1.0, |p| p.imbalance())
     }
 

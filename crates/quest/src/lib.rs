@@ -101,8 +101,8 @@ impl PatternPool {
         let mut weights = Vec::with_capacity(p.n_patterns);
         let mut corruption = Vec::with_capacity(p.n_patterns);
         for idx in 0..p.n_patterns {
-            let size = (dist::poisson(rng, p.avg_pattern_len).max(1) as usize)
-                .min(p.n_items as usize);
+            let size =
+                (dist::poisson(rng, p.avg_pattern_len).max(1) as usize).min(p.n_items as usize);
             let mut items: Vec<Item> = Vec::with_capacity(size);
             // Fraction of items carried over from the previous pattern.
             if idx > 0 {

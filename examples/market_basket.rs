@@ -26,10 +26,10 @@ fn main() {
     for i in 0..300u32 {
         let mut t = Vec::new();
         match i % 10 {
-            0..=3 => t.extend([0, 1, 2]),          // breakfast trio
-            4..=6 => t.extend([3, 4, 5]),          // game night
-            7..=8 => t.extend([6, 7]),             // baby run
-            _ => t.extend([0, 4]),                 // odd mix
+            0..=3 => t.extend([0, 1, 2]), // breakfast trio
+            4..=6 => t.extend([3, 4, 5]), // game night
+            7..=8 => t.extend([6, 7]),    // baby run
+            _ => t.extend([0, 4]),        // odd mix
         }
         // Noise item.
         if i % 7 == 0 {

@@ -65,7 +65,12 @@ fn main() {
         }));
     }
 
-    eprintln!("generating {} ({} items, {} patterns)...", params.name(), params.n_items, params.n_patterns);
+    eprintln!(
+        "generating {} ({} items, {} patterns)...",
+        params.name(),
+        params.n_items,
+        params.n_patterns
+    );
     let db = generate(&params);
     let stats = DatasetStats::measure(params.name(), &db);
     eprintln!(
@@ -77,9 +82,8 @@ fn main() {
 
     let res = match args.get("format").unwrap_or("text") {
         "bin" => parallel_arm::dataset::io::save(&db, output),
-        "text" => std::fs::File::create(output).and_then(|f| {
-            parallel_arm::dataset::io::write_text(&db, std::io::BufWriter::new(f))
-        }),
+        "text" => std::fs::File::create(output)
+            .and_then(|f| parallel_arm::dataset::io::write_text(&db, std::io::BufWriter::new(f))),
         other => {
             eprintln!("error: unknown format {other:?} (text | bin)");
             usage();

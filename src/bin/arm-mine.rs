@@ -98,7 +98,10 @@ fn main() {
             .unwrap()
             .then(b.support.cmp(&a.support))
     });
-    println!("# top {} rules (confidence >= {confidence}):", top.min(rules.len()));
+    println!(
+        "# top {} rules (confidence >= {confidence}):",
+        top.min(rules.len())
+    );
     for r in rules.iter().take(top) {
         println!("# {r}");
     }

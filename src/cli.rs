@@ -69,7 +69,9 @@ impl Args {
                 if boolean_flags.contains(&key) {
                     out.flags.push(key.to_string());
                 } else {
-                    let value = it.next().ok_or_else(|| CliError::MissingValue(key.into()))?;
+                    let value = it
+                        .next()
+                        .ok_or_else(|| CliError::MissingValue(key.into()))?;
                     out.opts.insert(key.to_string(), value);
                 }
             } else {
@@ -136,11 +138,13 @@ pub fn mining_config(args: &Args) -> Result<AprioriConfig, CliError> {
         };
     }
     if let Some(p) = args.get("placement") {
-        cfg.placement = p.parse::<PlacementPolicy>().map_err(|_| CliError::BadValue {
-            key: "placement".into(),
-            value: p.into(),
-            expected: "CCPD|SPP|LPP|GPP|L-SPP|L-LPP|L-GPP|LCA-GPP",
-        })?;
+        cfg.placement = p
+            .parse::<PlacementPolicy>()
+            .map_err(|_| CliError::BadValue {
+                key: "placement".into(),
+                value: p.into(),
+                expected: "CCPD|SPP|LPP|GPP|L-SPP|L-LPP|L-GPP|LCA-GPP",
+            })?;
     }
     if let Some(h) = args.get("hash") {
         cfg.hash_scheme = match h {
@@ -215,7 +219,16 @@ mod tests {
     fn parse(words: &[&str]) -> Args {
         Args::parse(
             words.iter().map(|s| s.to_string()),
-            &["support", "placement", "hash", "fanout", "threads", "leaf-threshold", "max-k", "visited"],
+            &[
+                "support",
+                "placement",
+                "hash",
+                "fanout",
+                "threads",
+                "leaf-threshold",
+                "max-k",
+                "visited",
+            ],
             &["help", "no-short-circuit"],
         )
         .unwrap()
@@ -232,12 +245,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_and_missing() {
-        let err = Args::parse(
-            ["--bogus".to_string(), "1".into()],
-            &["support"],
-            &[],
-        )
-        .unwrap_err();
+        let err = Args::parse(["--bogus".to_string(), "1".into()], &["support"], &[]).unwrap_err();
         assert_eq!(err, CliError::UnknownOption("bogus".into()));
         let err = Args::parse(["--support".to_string()], &["support"], &[]).unwrap_err();
         assert_eq!(err, CliError::MissingValue("support".into()));
@@ -246,8 +254,19 @@ mod tests {
     #[test]
     fn mining_config_translation() {
         let a = parse(&[
-            "--support", "25t", "--placement", "lpp", "--hash", "mod", "--fanout", "16",
-            "--max-k", "4", "--no-short-circuit", "--visited", "level",
+            "--support",
+            "25t",
+            "--placement",
+            "lpp",
+            "--hash",
+            "mod",
+            "--fanout",
+            "16",
+            "--max-k",
+            "4",
+            "--no-short-circuit",
+            "--visited",
+            "level",
         ]);
         let cfg = mining_config(&a).unwrap();
         assert_eq!(cfg.min_support, Support::Absolute(25));

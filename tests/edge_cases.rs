@@ -16,7 +16,10 @@ fn single_item_universe() {
     let r = parallel_arm::core::mine(&db, &cfg_abs(2));
     assert_eq!(r.total_frequent(), 1);
     assert_eq!(r.support_of(&[0]), Some(2));
-    assert!(generate_rules(&r, 0.5).is_empty(), "no rules from singletons");
+    assert!(
+        generate_rules(&r, 0.5).is_empty(),
+        "no rules from singletons"
+    );
 }
 
 #[test]

@@ -59,10 +59,7 @@ fn rules_pipeline_end_to_end() {
         // Antecedent and consequent are disjoint and sorted.
         assert!(rule.antecedent.windows(2).all(|w| w[0] < w[1]));
         assert!(rule.consequent.windows(2).all(|w| w[0] < w[1]));
-        assert!(rule
-            .antecedent
-            .iter()
-            .all(|a| !rule.consequent.contains(a)));
+        assert!(rule.antecedent.iter().all(|a| !rule.consequent.contains(a)));
     }
 }
 

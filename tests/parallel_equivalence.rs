@@ -44,7 +44,12 @@ fn ccpd_equals_sequential_across_policies() {
 fn ccpd_equals_sequential_across_candgen_schemes() {
     let db = synthetic(9);
     let expected = parallel_arm::core::mine(&db, &base_cfg()).all_itemsets();
-    for scheme in [Scheme::Block, Scheme::Interleaved, Scheme::Bitonic, Scheme::Greedy] {
+    for scheme in [
+        Scheme::Block,
+        Scheme::Interleaved,
+        Scheme::Bitonic,
+        Scheme::Greedy,
+    ] {
         let mut cfg = ParallelConfig::new(base_cfg(), 3).with_candgen(scheme);
         cfg.parallel_candgen_min = 1;
         let (r, _) = ccpd::mine(&db, &cfg);

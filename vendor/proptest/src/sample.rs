@@ -1,0 +1,41 @@
+//! Sampling helpers: the `Index` type for picking into runtime-sized
+//! collections.
+
+use crate::strategy::{Arbitrary, Strategy};
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// An abstract index, resolved against a concrete length at use time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Builds an index from raw entropy (mainly for tests).
+    pub fn from_raw(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Resolves the index against a collection of `len` elements.
+    /// Panics when `len` is zero, mirroring upstream.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+/// Whole-domain strategy for [`Index`].
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+    fn sample(&self, rng: &mut TestRng) -> Index {
+        Index(rng.rng().gen())
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = IndexStrategy;
+    fn arbitrary() -> Self::Strategy {
+        IndexStrategy
+    }
+}

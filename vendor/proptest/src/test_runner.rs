@@ -1,0 +1,86 @@
+//! Test-runner plumbing: configuration, the per-test RNG, and the case
+//! outcome type the assertion macros return.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Precondition unmet (`prop_assume!`); draw a fresh case.
+    Reject(String),
+    /// Assertion failed; the whole property fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// The deterministic generator driving one property's cases.
+pub struct TestRng {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl TestRng {
+    /// Creates the RNG for `test_name`: seeded from `PROPTEST_SEED` when
+    /// set, otherwise from a stable hash of the name, so runs reproduce.
+    pub fn for_test(test_name: &str) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(v) => v.parse().unwrap_or_else(|_| fnv1a(test_name.as_bytes())),
+            Err(_) => fnv1a(test_name.as_bytes()),
+        };
+        TestRng {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed in effect (reported on failure).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
