@@ -14,8 +14,13 @@
 //! beat `seed` (the process exit code reports it so CI can gate on
 //! the comparison).
 
-use arm_bench::{banner, pct_improvement, reps_for, time_best, DatasetCache, ScaleMode};
-use arm_core::{equivalence_classes, frequent_singletons, generate_class, make_hash, HashScheme};
+use arm_bench::{
+    banner, pct_improvement, reps_for, time_best, timing_max_k, DatasetCache, ScaleMode,
+};
+use arm_core::{
+    equivalence_classes, frequent_singletons, generate_class, make_hash, AprioriConfig, HashScheme,
+    Support,
+};
 use arm_dataset::Database;
 use arm_hashtree::{
     freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, ItemFilter,
@@ -195,6 +200,23 @@ fn main() {
     let path = "BENCH_counting.json";
     std::fs::write(path, &json).expect("write BENCH_counting.json");
     println!("wrote {path}");
+
+    // ---- RunReport: one instrumented CCPD run over the same dataset ----
+    // Exercises the observability layer end-to-end: phase timers, lock
+    // telemetry on the shared tree build, and per-thread work land in one
+    // `arm-run-report/v1` document alongside the knob snapshot above.
+    let base = AprioriConfig {
+        min_support: Support::Fraction(0.005),
+        max_k: timing_max_k(scale),
+        ..AprioriConfig::default()
+    };
+    let (result, stats) =
+        arm_parallel::ccpd::mine(&db, &arm_parallel::ParallelConfig::new(base, 2));
+    let report = arm_parallel::run_report("ccpd", "T10.I4.D100K", &result, &stats);
+    let report_path = "BENCH_counting.report.json";
+    std::fs::write(report_path, arm_metrics::reports_to_json(&[report]))
+        .expect("write BENCH_counting.report.json");
+    println!("wrote {report_path}");
 
     if all >= seed {
         eprintln!("WARNING: optimized kernel did not beat the seed kernel");

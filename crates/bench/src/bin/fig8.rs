@@ -13,11 +13,12 @@
 
 use arm_balance::Scheme;
 use arm_bench::{
-    banner, paper_name, pct_improvement, reps_for, Csv, DatasetCache, ScaleMode, FIG_DATASETS_6,
+    banner, paper_name, pct_improvement, reps_for, write_reports, Csv, DatasetCache, ScaleMode,
+    FIG_DATASETS_6,
 };
-use arm_core::{AprioriConfig, HashScheme, Support};
+use arm_core::{AprioriConfig, HashScheme, MiningResult, Support};
 use arm_dataset::Database;
-use arm_parallel::{ccpd, ParallelConfig};
+use arm_parallel::{ccpd, run_report, ParallelConfig, ParallelRunStats};
 
 fn run(
     db: &Database,
@@ -26,7 +27,7 @@ fn run(
     hash: HashScheme,
     reps: usize,
     max_k: Option<u32>,
-) -> (f64, f64) {
+) -> (f64, f64, MiningResult, ParallelRunStats) {
     let base = AprioriConfig {
         min_support: Support::Fraction(0.005),
         hash_scheme: hash,
@@ -39,14 +40,17 @@ fn run(
     let mut imbalance = 1.0f64;
     // One discarded warm-up run stabilizes allocator and cache state.
     let _ = ccpd::mine(db, &cfg);
+    let mut last = None;
     for _ in 0..reps {
-        let (_, stats) = ccpd::mine(db, &cfg);
+        let (result, stats) = ccpd::mine(db, &cfg);
         // The paper reports improvements "only based on the computation
         // time" — candidate generation, tree build, and counting.
         best = best.min(stats.simulated_time_of(&["candgen", "build", "count"]));
         imbalance = stats.imbalance_of_heaviest("candgen");
+        last = Some((result, stats));
     }
-    (best, imbalance)
+    let (result, stats) = last.unwrap();
+    (best, imbalance, result, stats)
 }
 
 fn main() {
@@ -61,6 +65,7 @@ fn main() {
         "fig8.csv",
         "dataset,procs,comp_pct,tree_pct,comp_tree_pct,candgen_imbalance_block,candgen_imbalance_greedy",
     );
+    let mut reports = Vec::new();
 
     println!(
         "{:<16} {:>2} {:>10} {:>10} {:>12} {:>12} {:>12}",
@@ -71,10 +76,16 @@ fn main() {
         let db = cache.get(t, i, d);
         for p in [1usize, 2, 4, 8] {
             let mk = arm_bench::timing_max_k(scale);
-            let (base, imb_block) = run(&db, p, Scheme::Block, HashScheme::Interleaved, reps, mk);
-            let (comp, imb_greedy) = run(&db, p, Scheme::Greedy, HashScheme::Interleaved, reps, mk);
-            let (tree, _) = run(&db, p, Scheme::Block, HashScheme::Bitonic, reps, mk);
-            let (both, _) = run(&db, p, Scheme::Greedy, HashScheme::Bitonic, reps, mk);
+            let (base, imb_block, ..) =
+                run(&db, p, Scheme::Block, HashScheme::Interleaved, reps, mk);
+            let (comp, imb_greedy, ..) =
+                run(&db, p, Scheme::Greedy, HashScheme::Interleaved, reps, mk);
+            let (tree, ..) = run(&db, p, Scheme::Block, HashScheme::Bitonic, reps, mk);
+            let (both, _, result, stats) =
+                run(&db, p, Scheme::Greedy, HashScheme::Bitonic, reps, mk);
+            // The COMP-TREE run (the configuration the figure argues for)
+            // doubles as this dataset/P cell's RunReport.
+            reports.push(run_report("ccpd-comp-tree", &name, &result, &stats));
             let (ci, ti, bi) = (
                 pct_improvement(base, comp),
                 pct_improvement(base, tree),
@@ -89,7 +100,9 @@ fn main() {
         }
     }
     let path = csv.finish();
+    let report_path = write_reports("fig8.report.json", &reports);
     println!("\nexpected shape (paper): COMP ≈ 0% at P=1, ~20% at P=8; TREE helps even");
     println!("at P=1 (~30%); COMP-TREE is the best, reaching ~40% on multiprocessors.");
     println!("csv: {}", path.display());
+    println!("reports: {}", report_path.display());
 }

@@ -8,6 +8,7 @@
 //! `experiments` driver is used), written as CSV.
 
 use arm_dataset::Database;
+use arm_metrics::{reports_to_json, RunReport};
 use arm_quest::{generate, QuestParams};
 use std::collections::HashMap;
 use std::io::Write;
@@ -199,6 +200,20 @@ impl Csv {
         }
         self.path
     }
+}
+
+/// Writes `reports` as one `arm-run-report/v1` JSON document next to the
+/// CSV outputs (`ARM_OUT`, else `EXPERIMENTS-data/`), returning the path
+/// written. Every figure binary funnels its runs through this so all
+/// machine-readable output shares one schema.
+pub fn write_reports(name: &str, reports: &[RunReport]) -> PathBuf {
+    let dir = std::env::var("ARM_OUT").unwrap_or_else(|_| "EXPERIMENTS-data".into());
+    std::fs::create_dir_all(&dir).ok();
+    let path = Path::new(&dir).join(name);
+    if let Err(e) = std::fs::write(&path, reports_to_json(reports)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    path
 }
 
 /// Percent improvement of `optimized` over `base` (positive = faster).

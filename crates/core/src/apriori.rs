@@ -13,6 +13,7 @@ use arm_hashtree::{
 };
 use arm_mem::counters::reduce;
 use arm_mem::{FlatCounters, LocalCounters};
+use arm_metrics::{Counter, MetricsRegistry, PhaseSpan, TalliedCounters};
 
 /// Per-iteration measurements (feed Figs. 6, 7, 10 and the work model).
 #[derive(Debug, Clone)]
@@ -99,10 +100,37 @@ pub fn f1_items(f1: &FrequentLevel) -> Vec<Item> {
     (0..f1.len()).map(|i| f1.get(i)[0]).collect()
 }
 
+/// Starts a phase span when a registry is present; `None` otherwise.
+fn phase<'m>(
+    metrics: Option<&'m MetricsRegistry>,
+    name: &'static str,
+    k: u32,
+) -> Option<PhaseSpan<'m>> {
+    metrics.map(|m| m.phase(name, k))
+}
+
 /// Runs sequential Apriori over `db`.
 pub fn mine(db: &Database, config: &AprioriConfig) -> MiningResult {
+    mine_with(db, config, None)
+}
+
+/// Runs sequential Apriori, recording phase timers and telemetry into
+/// `metrics` when provided. The sequential run is a single "thread", so
+/// every counter lands on shard 0 and each counting phase records a
+/// one-element work vector — the same schema the parallel drivers emit,
+/// which makes sequential baselines directly comparable in a
+/// [`arm_metrics::RunReport`].
+pub fn mine_with(
+    db: &Database,
+    config: &AprioriConfig,
+    metrics: Option<&MetricsRegistry>,
+) -> MiningResult {
     let min_support = config.min_support.absolute(db.len());
+    let span = phase(metrics, "f1", 1);
     let f1 = frequent_singletons(db, min_support);
+    if let Some(s) = span {
+        s.finish_serial();
+    }
     let f1_item_list = f1_items(&f1);
     // Optional DHP pass-1 table (same scan in the on-disk algorithm).
     let pair_table = config
@@ -142,6 +170,7 @@ pub fn mine(db: &Database, config: &AprioriConfig) -> MiningResult {
         }
 
         // Candidate generation over equivalence classes.
+        let span = phase(metrics, "candgen", k);
         let classes = equivalence_classes(prev);
         let mut cands = CandidateSet::new(k);
         let mut scratch_items = Vec::with_capacity(k as usize);
@@ -155,6 +184,9 @@ pub fn mine(db: &Database, config: &AprioriConfig) -> MiningResult {
                 cands = cands.filtered(|_, it| table[pair_bucket(it[0], it[1], *m)] >= min_support);
             }
         }
+        if let Some(s) = span {
+            s.finish_serial();
+        }
         if cands.is_empty() {
             break;
         }
@@ -167,11 +199,28 @@ pub fn mine(db: &Database, config: &AprioriConfig) -> MiningResult {
         let hash = make_hash(config.hash_scheme, fanout, &f1_item_list, db.n_items());
 
         // Build + freeze the candidate hash tree.
+        let span = phase(metrics, "build", k);
         let builder = TreeBuilder::new(&cands, &hash, config.leaf_threshold);
-        builder.insert_all();
+        match metrics {
+            Some(m) => builder.insert_all_tallied(m.shard(0)),
+            None => builder.insert_all(),
+        }
+        if let Some(s) = span {
+            s.finish_serial();
+        }
+        let span = phase(metrics, "freeze", k);
         let tree = freeze_policy(&builder, config.placement);
+        if let Some(s) = span {
+            s.finish_serial();
+        }
+        if let Some(m) = metrics {
+            let shard = m.shard(0);
+            shard.add(Counter::TreeBytes, tree.total_bytes() as u64);
+            shard.add(Counter::TreeNodes, tree.n_nodes() as u64);
+        }
 
         // Support counting.
+        let span = phase(metrics, "count", k);
         let filter = config
             .trim_transactions
             .then(|| ItemFilter::from_candidates(&cands, db.n_items()));
@@ -180,6 +229,13 @@ pub fn mine(db: &Database, config: &AprioriConfig) -> MiningResult {
             scratch.retarget(tree.n_nodes());
         } else {
             scratch = CountScratch::new(db.n_items(), tree.n_nodes());
+        }
+        if let Some(m) = metrics {
+            m.shard(0).incr(if config.reuse_scratch {
+                Counter::ScratchRetargets
+            } else {
+                Counter::ScratchAllocs
+            });
         }
         let mut meter = WorkMeter::default();
         let counts: Vec<u32> = if tree.counters_inline() {
@@ -213,21 +269,35 @@ pub fn mine(db: &Database, config: &AprioriConfig) -> MiningResult {
             reduce(&[local])
         } else {
             let shared = FlatCounters::new(cands.len());
-            let mut cref = CounterRef::Shared(&shared);
-            tree.count_partition(
-                &hash,
-                db,
-                0..db.len(),
-                filter,
-                &mut scratch,
-                &mut cref,
-                opts,
-                &mut meter,
-            );
+            {
+                let tallied = metrics.map(|m| TalliedCounters::new(&shared, m.shard(0)));
+                let mut cref = match &tallied {
+                    Some(t) => CounterRef::Shared(t),
+                    None => CounterRef::Shared(&shared),
+                };
+                tree.count_partition(
+                    &hash,
+                    db,
+                    0..db.len(),
+                    filter,
+                    &mut scratch,
+                    &mut cref,
+                    opts,
+                    &mut meter,
+                );
+            }
             shared.snapshot()
         };
+        if let Some(m) = metrics {
+            m.shard(0)
+                .add(Counter::ScratchStampBytes, scratch.stamp_bytes() as u64);
+        }
+        if let Some(s) = span {
+            s.finish(vec![meter.work_units()]);
+        }
 
         // Frequent extraction.
+        let span = phase(metrics, "extract", k);
         let mut fk_sets = CandidateSet::new(k);
         let mut fk_supports = Vec::new();
         for (id, items) in cands.iter() {
@@ -237,6 +307,9 @@ pub fn mine(db: &Database, config: &AprioriConfig) -> MiningResult {
             }
         }
         let fk = FrequentLevel::new(fk_sets, fk_supports);
+        if let Some(s) = span {
+            s.finish_serial();
+        }
 
         iter_stats.push(IterStats {
             k,
@@ -376,6 +449,40 @@ mod tests {
         assert_eq!(s3.k, 3);
         assert_eq!(s3.n_candidates, 1);
         assert_eq!(s3.n_frequent, 1);
+    }
+
+    #[test]
+    fn mine_with_registry_records_phases_and_matches_plain_mine() {
+        let db = paper_db();
+        let cfg = paper_config();
+        let reference = mine(&db, &cfg).all_itemsets();
+
+        let metrics = MetricsRegistry::new(1);
+        let r = mine_with(&db, &cfg, Some(&metrics));
+        assert_eq!(r.all_itemsets(), reference);
+
+        let phases = metrics.take_phases();
+        for name in ["f1", "candgen", "build", "freeze", "count", "extract"] {
+            assert!(
+                phases.iter().any(|p| p.name == name),
+                "missing phase {name}"
+            );
+        }
+        // Counting phases carry a single-thread work vector.
+        let count2 = phases
+            .iter()
+            .find(|p| p.name == "count" && p.k == 2)
+            .unwrap();
+        assert_eq!(count2.thread_work.as_ref().map(Vec::len), Some(1));
+        assert!(count2.thread_work.as_ref().unwrap()[0] > 0);
+
+        let snap = metrics.snapshot();
+        if MetricsRegistry::enabled() {
+            assert!(snap.total(Counter::LeafLockAcquires) > 0);
+            assert!(snap.total(Counter::TreeBytes) > 0);
+        } else {
+            assert_eq!(snap.total(Counter::LeafLockAcquires), 0);
+        }
     }
 
     #[test]

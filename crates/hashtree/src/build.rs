@@ -14,7 +14,8 @@
 use crate::candidates::CandidateSet;
 use arm_balance::HashFn;
 use arm_mem::StableVec;
-use parking_lot::Mutex;
+use arm_metrics::Shard;
+use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
 use std::sync::OnceLock;
 
@@ -78,6 +79,17 @@ impl<'a, F: HashFn> TreeBuilder<'a, F> {
 
     /// Inserts candidate `id`. Callable concurrently from many threads.
     pub fn insert(&self, id: u32) {
+        self.insert_with(id, None);
+    }
+
+    /// [`TreeBuilder::insert`] with per-leaf-lock telemetry attributed to
+    /// `shard` (acquisitions, contended acquisitions, wait time). With
+    /// the telemetry feature disabled this is exactly `insert`.
+    pub fn insert_tallied(&self, id: u32, shard: &Shard) {
+        self.insert_with(id, Some(shard));
+    }
+
+    fn insert_with(&self, id: u32, shard: Option<&Shard>) {
         let items = self.cands.get(id);
         let k = items.len();
         let mut node_idx = 0usize;
@@ -95,14 +107,14 @@ impl<'a, F: HashFn> TreeBuilder<'a, F> {
             }
             // Leaf path: lock, then re-check state (a racing conversion may
             // have completed while we waited on the lock).
-            let mut entries = node.entries.lock();
+            let mut entries = lock_entries(node, shard);
             if node.is_internal() {
                 drop(entries);
                 continue;
             }
             entries.push(id);
             if entries.len() > self.threshold && depth < k {
-                self.convert(node, &mut entries);
+                self.convert(node, &mut entries, shard);
             }
             return;
         }
@@ -112,6 +124,13 @@ impl<'a, F: HashFn> TreeBuilder<'a, F> {
     pub fn insert_all(&self) {
         for id in 0..self.cands.len() as u32 {
             self.insert(id);
+        }
+    }
+
+    /// [`TreeBuilder::insert_all`] with lock telemetry on `shard`.
+    pub fn insert_all_tallied(&self, shard: &Shard) {
+        for id in 0..self.cands.len() as u32 {
+            self.insert_tallied(id, shard);
         }
     }
 
@@ -132,7 +151,7 @@ impl<'a, F: HashFn> TreeBuilder<'a, F> {
     /// Converts a leaf (whose `entries` lock is held) into an internal
     /// node, redistributing entries one level down. Cascades while a child
     /// still exceeds the threshold and can split.
-    fn convert(&self, node: &BuildNode, entries: &mut Vec<u32>) {
+    fn convert(&self, node: &BuildNode, entries: &mut Vec<u32>, shard: Option<&Shard>) {
         let depth = node.depth as usize;
         let h = self.hash.fanout() as usize;
         let children: Box<[AtomicU32]> = (0..h).map(|_| AtomicU32::new(0)).collect();
@@ -142,11 +161,11 @@ impl<'a, F: HashFn> TreeBuilder<'a, F> {
             let cell = self.hash.hash(item) as usize;
             let child_idx = self.child_or_create(&children, cell, depth + 1);
             let child = self.nodes.index(child_idx);
-            let mut child_entries = child.entries.lock();
+            let mut child_entries = lock_entries(child, shard);
             child_entries.push(id);
             let child_depth = child.depth as usize;
             if child_entries.len() > self.threshold && child_depth < self.cands.k() as usize {
-                self.convert(child, &mut child_entries);
+                self.convert(child, &mut child_entries, shard);
             }
         }
         entries.clear();
@@ -211,6 +230,17 @@ impl<'a, F: HashFn> TreeBuilder<'a, F> {
                 entries: node.entries.lock().clone(),
             }
         }
+    }
+}
+
+/// Acquires a node's entry lock, through the telemetry shard when one is
+/// attached (build locks are the §3.1.4 contention point the observability
+/// layer measures).
+#[inline]
+fn lock_entries<'n>(node: &'n BuildNode, shard: Option<&Shard>) -> MutexGuard<'n, Vec<u32>> {
+    match shard {
+        Some(s) => s.lock_timed(&node.entries),
+        None => node.entries.lock(),
     }
 }
 
@@ -364,6 +394,53 @@ mod tests {
         });
         let all = collect_leaf_entries(&b);
         assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tallied_insert_builds_identical_tree_and_counts_locks() {
+        use arm_metrics::{Counter, MetricsRegistry};
+        let mut sets: Vec<Vec<u32>> = Vec::new();
+        for a in 0..12u32 {
+            for b in (a + 1)..12 {
+                sets.push(vec![a, b]);
+            }
+        }
+        let mut cs = CandidateSet::new(2);
+        for s in &sets {
+            cs.push(s);
+        }
+        let h = ModHash::new(3);
+        let plain = TreeBuilder::new(&cs, &h, 2);
+        plain.insert_all();
+        let reg = MetricsRegistry::new(4);
+        let tallied = TreeBuilder::new(&cs, &h, 2);
+        let n = cs.len() as u32;
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let tallied = &tallied;
+                let reg = &reg;
+                scope.spawn(move || {
+                    let shard = reg.shard(t as usize);
+                    let mut id = t;
+                    while id < n {
+                        tallied.insert_tallied(id, shard);
+                        id += 4;
+                    }
+                });
+            }
+        });
+        assert_eq!(collect_leaf_entries(&tallied), collect_leaf_entries(&plain));
+        let snap = reg.snapshot();
+        if MetricsRegistry::enabled() {
+            // Every insert acquires at least one leaf lock; conversions
+            // acquire more.
+            assert!(snap.total(Counter::LeafLockAcquires) >= n as u64);
+            assert!(
+                snap.total(Counter::LeafLockContended) <= snap.total(Counter::LeafLockAcquires)
+            );
+        } else {
+            assert_eq!(snap.total(Counter::LeafLockAcquires), 0);
+        }
     }
 
     #[test]

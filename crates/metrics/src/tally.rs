@@ -1,0 +1,101 @@
+//! A telemetry wrapper around the shared support-counter array.
+//!
+//! CCPD's shared-counter placement policies increment one
+//! [`FlatCounters`] array from every thread. [`TalliedCounters`] wraps
+//! that array behind the same [`SharedCounters`] trait the counting
+//! kernel already dispatches on, tallying each increment — and the CAS
+//! retries it needed, the direct measure of counter contention — into the
+//! calling thread's [`Shard`]. With metrics disabled it degenerates to a
+//! plain delegation.
+
+use crate::registry::{Counter, Shard};
+use arm_mem::{FlatCounters, SharedCounters};
+
+/// Shared counters + the calling thread's telemetry shard.
+pub struct TalliedCounters<'a> {
+    inner: &'a FlatCounters,
+    shard: &'a Shard,
+}
+
+impl<'a> TalliedCounters<'a> {
+    /// Wraps `inner`, attributing events to `shard`.
+    pub fn new(inner: &'a FlatCounters, shard: &'a Shard) -> Self {
+        TalliedCounters { inner, shard }
+    }
+}
+
+impl SharedCounters for TalliedCounters<'_> {
+    #[inline]
+    fn increment(&self, id: u32) {
+        if !cfg!(feature = "enabled") {
+            self.inner.increment(id);
+            return;
+        }
+        let retries = self.inner.increment_counting_retries(id);
+        self.shard.incr(Counter::CtrIncrements);
+        if retries > 0 {
+            self.shard.add(Counter::CtrCasRetries, retries as u64);
+        }
+    }
+
+    #[inline]
+    fn get(&self, id: u32) -> u32 {
+        self.inner.get(id)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.inner.footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn increments_are_exact_and_tallied() {
+        let reg = MetricsRegistry::new(4);
+        let flat = FlatCounters::new(8);
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let flat = &flat;
+                let reg = &reg;
+                s.spawn(move || {
+                    let tallied = TalliedCounters::new(flat, reg.shard(t));
+                    for i in 0..8_000u32 {
+                        tallied.increment(i % 8);
+                    }
+                });
+            }
+        });
+        for i in 0..8 {
+            assert_eq!(flat.get(i), 4_000);
+        }
+        let snap = reg.snapshot();
+        if MetricsRegistry::enabled() {
+            assert_eq!(snap.total(Counter::CtrIncrements), 32_000);
+            for t in 0..4 {
+                assert_eq!(snap.get(t, Counter::CtrIncrements), 8_000);
+            }
+        } else {
+            assert_eq!(snap.total(Counter::CtrIncrements), 0);
+        }
+    }
+
+    #[test]
+    fn delegates_reads() {
+        let reg = MetricsRegistry::new(1);
+        let flat = FlatCounters::new(3);
+        let tallied = TalliedCounters::new(&flat, reg.shard(0));
+        tallied.increment(1);
+        assert_eq!(tallied.get(1), 1);
+        assert_eq!(tallied.len(), 3);
+        assert!(!tallied.is_empty());
+        assert_eq!(tallied.footprint_bytes(), 12);
+    }
+}

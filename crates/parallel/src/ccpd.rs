@@ -18,7 +18,7 @@
 
 use crate::config::{DbPartition, ParallelConfig};
 use crate::scratch::ScratchPool;
-use crate::stats::{ParallelRunStats, PhaseStat};
+use crate::stats::ParallelRunStats;
 use arm_core::f1::{count_pair_buckets, pair_bucket};
 use arm_core::{
     adaptive_fanout, class_weight, count_singletons, equivalence_classes, f1_items,
@@ -31,6 +31,7 @@ use arm_hashtree::{
 };
 use arm_mem::counters::reduce;
 use arm_mem::{FlatCounters, LocalCounters};
+use arm_metrics::{Counter, MetricsRegistry, TalliedCounters};
 use std::ops::Range;
 use std::time::Instant;
 
@@ -40,11 +41,11 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
     let run_start = Instant::now();
     let p = cfg.n_threads.max(1);
     let min_support = cfg.base.min_support.absolute(db.len());
-    let mut phases: Vec<PhaseStat> = Vec::new();
+    let metrics = MetricsRegistry::new(p);
     let mut run_meters = vec![WorkMeter::default(); p];
 
     // ---- F1: parallel histograms ----------------------------------------
-    let t0 = Instant::now();
+    let span = metrics.phase("f1", 1);
     let ranges = block_ranges(db.len(), p);
     let pair_buckets = cfg.base.pair_filter_buckets;
     let partials: Vec<(Vec<u32>, Option<Vec<u32>>)> = run_threads(p, |t| {
@@ -56,14 +57,9 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         .iter()
         .map(|r| (db.offsets()[r.end] - db.offsets()[r.start]) as u64)
         .collect();
-    phases.push(PhaseStat {
-        name: "f1",
-        k: 1,
-        wall: t0.elapsed(),
-        thread_work: Some(f1_work),
-    });
+    span.finish(f1_work);
 
-    let t0 = Instant::now();
+    let span = metrics.phase("reduce", 1);
     let mut counts = vec![0u32; db.n_items() as usize];
     let mut pair_table = pair_buckets.map(|m| vec![0u32; m]);
     for (part, pairs) in &partials {
@@ -77,12 +73,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         }
     }
     let f1 = frequent_from_counts(&counts, min_support);
-    phases.push(PhaseStat {
-        name: "reduce",
-        k: 1,
-        wall: t0.elapsed(),
-        thread_work: None,
-    });
+    span.finish_serial();
 
     let f1_item_list = f1_items(&f1);
     // With `reuse_scratch`, one counting scratch per worker lives across
@@ -115,7 +106,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         }
 
         // Candidate generation.
-        let t0 = Instant::now();
+        let span = metrics.phase("candgen", k);
         let classes = equivalence_classes(prev);
         let weights: Vec<u64> = classes.iter().map(class_weight).collect();
         let (cands, candgen_work, join_pairs) = if p > 1 && prev.len() >= cfg.parallel_candgen_min {
@@ -142,12 +133,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         } else {
             cands
         };
-        phases.push(PhaseStat {
-            name: "candgen",
-            k,
-            wall: t0.elapsed(),
-            thread_work: Some(candgen_work),
-        });
+        span.finish(candgen_work);
         if cands.is_empty() {
             break;
         }
@@ -160,36 +146,31 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         };
         let hash = make_hash(cfg.base.hash_scheme, fanout, &f1_item_list, db.n_items());
 
-        // Parallel tree build (shared tree, per-leaf locks).
-        let t0 = Instant::now();
+        // Parallel tree build (shared tree, per-leaf locks). The per-leaf
+        // lock telemetry of §3.1.4 is attributed to each inserter's shard.
+        let span = metrics.phase("build", k);
         let builder = TreeBuilder::new(&cands, &hash, cfg.base.leaf_threshold);
         let cand_ranges = block_ranges(cands.len(), p);
         run_threads(p, |t| {
+            let shard = metrics.shard(t);
             for id in cand_ranges[t].clone() {
-                builder.insert(id as u32);
+                builder.insert_tallied(id as u32, shard);
             }
         });
         let build_work: Vec<u64> = cand_ranges.iter().map(|r| r.len() as u64).collect();
-        phases.push(PhaseStat {
-            name: "build",
-            k,
-            wall: t0.elapsed(),
-            thread_work: Some(build_work),
-        });
+        span.finish(build_work);
 
         // Freeze into the placement policy's image (serial, like the
         // paper's remap).
-        let t0 = Instant::now();
+        let span = metrics.phase("freeze", k);
         let tree = freeze_policy(&builder, cfg.base.placement);
-        phases.push(PhaseStat {
-            name: "freeze",
-            k,
-            wall: t0.elapsed(),
-            thread_work: None,
-        });
+        span.finish_serial();
+        let master = metrics.shard(0);
+        master.add(Counter::TreeBytes, tree.total_bytes() as u64);
+        master.add(Counter::TreeNodes, tree.n_nodes() as u64);
 
         // Parallel support counting.
-        let t0 = Instant::now();
+        let span = metrics.phase("count", k);
         let db_ranges: Vec<Range<usize>> = match cfg.db_partition {
             DbPartition::Block => block_ranges(db.len(), p),
             DbPartition::WeightedStatic { kmax } => weighted_ranges(db, p, kmax),
@@ -211,28 +192,34 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         let shared = (!inline && !per_thread).then(|| FlatCounters::new(cands.len()));
 
         let outcomes: Vec<(WorkMeter, Option<LocalCounters>)> = run_threads(p, |t| {
+            let shard = metrics.shard(t);
             let mut pooled;
             let mut fresh;
             let scratch: &mut CountScratch = match &scratch_pool {
                 Some(pool) => {
                     pooled = pool.slot(t);
                     pooled.retarget(tree.n_nodes());
+                    shard.incr(Counter::ScratchRetargets);
                     &mut pooled
                 }
                 None => {
                     fresh = CountScratch::new(db.n_items(), tree.n_nodes());
+                    shard.incr(Counter::ScratchAllocs);
                     &mut fresh
                 }
             };
             let mut meter = WorkMeter::default();
             let mut local = per_thread.then(|| LocalCounters::new(cands.len()));
+            // Shared counters go through the tallying wrapper so striped
+            // increments and their CAS retries land in this thread's shard.
+            let tallied = shared.as_ref().map(|s| TalliedCounters::new(s, shard));
             {
                 let mut cref = if inline {
                     CounterRef::Inline
                 } else if let Some(l) = local.as_mut() {
                     CounterRef::Local(l)
                 } else {
-                    CounterRef::Shared(shared.as_ref().unwrap())
+                    CounterRef::Shared(tallied.as_ref().unwrap())
                 };
                 tree.count_partition(
                     &hash,
@@ -245,6 +232,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
                     &mut meter,
                 );
             }
+            shard.add(Counter::ScratchStampBytes, scratch.stamp_bytes() as u64);
             (meter, local)
         });
         let meters: Vec<WorkMeter> = outcomes.iter().map(|(m, _)| *m).collect();
@@ -252,15 +240,10 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         for (rm, m) in run_meters.iter_mut().zip(&meters) {
             rm.merge(m);
         }
-        phases.push(PhaseStat {
-            name: "count",
-            k,
-            wall: t0.elapsed(),
-            thread_work: Some(count_work),
-        });
+        span.finish(count_work);
 
         // Reduction + extraction (master).
-        let t0 = Instant::now();
+        let span = metrics.phase("extract", k);
         let final_counts: Vec<u32> = if inline {
             tree.inline_counts()
         } else if per_thread {
@@ -279,12 +262,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
             }
         }
         let fk = FrequentLevel::new(fk_sets, fk_supports);
-        phases.push(PhaseStat {
-            name: "extract",
-            k,
-            wall: t0.elapsed(),
-            thread_work: None,
-        });
+        span.finish_serial();
 
         let mut total_meter = WorkMeter::default();
         for m in &meters {
@@ -318,9 +296,10 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
     };
     let stats = ParallelRunStats {
         n_threads: p,
-        phases,
+        phases: metrics.take_phases(),
         wall: run_start.elapsed(),
         count_meters: run_meters,
+        metrics: metrics.snapshot(),
     };
     (result, stats)
 }

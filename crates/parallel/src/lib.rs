@@ -10,7 +10,9 @@
 //! * [`scratch`] — the per-worker counting-scratch pool both drivers keep
 //!   alive across iterations;
 //! * [`stats`] — per-phase wall/work records and the simulated-speedup
-//!   model documented in DESIGN.md.
+//!   model documented in DESIGN.md;
+//! * [`report`] — folds a run into the machine-readable
+//!   [`arm_metrics::RunReport`] schema the bench binaries emit.
 //!
 //! ```
 //! use arm_core::{AprioriConfig, Support};
@@ -35,9 +37,11 @@
 pub mod ccpd;
 pub mod config;
 pub mod pccd;
+pub mod report;
 pub mod scratch;
 pub mod stats;
 
 pub use config::{DbPartition, ParallelConfig};
+pub use report::run_report;
 pub use scratch::ScratchPool;
 pub use stats::{ParallelRunStats, PhaseStat};

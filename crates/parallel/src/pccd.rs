@@ -9,7 +9,9 @@
 use crate::ccpd::run_threads;
 use crate::config::ParallelConfig;
 use crate::scratch::ScratchPool;
-use crate::stats::{ParallelRunStats, PhaseStat};
+use crate::stats::ParallelRunStats;
+use arm_metrics::{Counter, MetricsRegistry};
+
 use arm_core::{
     adaptive_fanout, count_singletons, equivalence_classes, f1_items, frequent_from_counts,
     generate_class, make_hash, FrequentLevel, IterStats, MiningResult,
@@ -28,20 +30,15 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
     let run_start = Instant::now();
     let p = cfg.n_threads.max(1);
     let min_support = cfg.base.min_support.absolute(db.len());
-    let mut phases: Vec<PhaseStat> = Vec::new();
+    let metrics = MetricsRegistry::new(p);
     let mut run_meters = vec![WorkMeter::default(); p];
 
     // F1 is identical to CCPD (histograms are cheap; keep it serial here
     // to emphasize that PCCD's pathology is in the counting phase).
-    let t0 = Instant::now();
+    let span = metrics.phase("f1", 1);
     let counts = count_singletons(db, 0..db.len());
     let f1 = frequent_from_counts(&counts, min_support);
-    phases.push(PhaseStat {
-        name: "f1",
-        k: 1,
-        wall: t0.elapsed(),
-        thread_work: None,
-    });
+    span.finish_serial();
 
     let f1_item_list = f1_items(&f1);
     // Same pooling as CCPD: one scratch per worker across all iterations.
@@ -73,7 +70,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
 
         // Sequential candidate generation (master), as in the paper's
         // PCCD variant; the candidates are then *partitioned*.
-        let t0 = Instant::now();
+        let span = metrics.phase("candgen", k);
         let classes = equivalence_classes(prev);
         let mut cands = CandidateSet::new(k);
         let mut scratch = Vec::with_capacity(k as usize);
@@ -81,12 +78,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         for class in &classes {
             join_pairs += generate_class(prev, class.clone(), &mut cands, &mut scratch);
         }
-        phases.push(PhaseStat {
-            name: "candgen",
-            k,
-            wall: t0.elapsed(),
-            thread_work: None,
-        });
+        span.finish_serial();
         if cands.is_empty() {
             break;
         }
@@ -104,7 +96,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         let assignment = cfg.candgen_scheme.assign(&weights, p);
 
         // Each thread: local tree over its candidates, full database scan.
-        let t0 = Instant::now();
+        let span = metrics.phase("count", k);
         let opts = CountOptions {
             short_circuit: cfg.base.short_circuit,
             visited: cfg.base.visited,
@@ -114,6 +106,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         // (global candidate ids, their counts, meter, tree bytes, tree nodes)
         type ThreadOutcome = (Vec<u32>, Vec<u32>, WorkMeter, usize, u32);
         let outcomes: Vec<ThreadOutcome> = run_threads(p, |t| {
+            let shard = metrics.shard(t);
             let ids = &assignment.bins[t]; // sorted → lexicographic subset
             let mut local_set = CandidateSet::new(k);
             for &id in ids {
@@ -123,9 +116,13 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
             if local_set.is_empty() {
                 return (Vec::new(), Vec::new(), meter, 0, 0);
             }
+            // Local trees are private, so lock telemetry here records the
+            // uncontended baseline PCCD trades CCPD's shared tree for.
             let builder = TreeBuilder::new(&local_set, &hash, cfg.base.leaf_threshold);
-            builder.insert_all();
+            builder.insert_all_tallied(shard);
             let tree = freeze_policy(&builder, cfg.base.placement);
+            shard.add(Counter::TreeBytes, tree.total_bytes() as u64);
+            shard.add(Counter::TreeNodes, tree.n_nodes() as u64);
             // Each worker trims against its *own* candidate subset — a
             // tighter (still lossless) filter than the global one.
             let filter = cfg
@@ -137,11 +134,13 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
             let mut fresh;
             let scratch: &mut CountScratch = match &scratch_pool {
                 Some(pool) => {
+                    shard.incr(Counter::ScratchRetargets);
                     pooled = pool.slot(t);
                     pooled.retarget(tree.n_nodes());
                     &mut pooled
                 }
                 None => {
+                    shard.incr(Counter::ScratchAllocs);
                     fresh = CountScratch::new(db.n_items(), tree.n_nodes());
                     &mut fresh
                 }
@@ -176,6 +175,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
                 }
                 local.slots().to_vec()
             };
+            shard.add(Counter::ScratchStampBytes, scratch.stamp_bytes() as u64);
             let ids_u32: Vec<u32> = ids.iter().map(|&i| i as u32).collect();
             (
                 ids_u32,
@@ -192,15 +192,10 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         for (rm, (_, _, m, _, _)) in run_meters.iter_mut().zip(&outcomes) {
             rm.merge(m);
         }
-        phases.push(PhaseStat {
-            name: "count",
-            k,
-            wall: t0.elapsed(),
-            thread_work: Some(count_work),
-        });
+        span.finish(count_work);
 
         // Reduction: scatter local counts back to global candidate ids.
-        let t0 = Instant::now();
+        let span = metrics.phase("extract", k);
         let mut final_counts = vec![0u32; cands.len()];
         let mut tree_bytes = 0usize;
         let mut tree_nodes = 0u32;
@@ -222,12 +217,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
             }
         }
         let fk = FrequentLevel::new(fk_sets, fk_supports);
-        phases.push(PhaseStat {
-            name: "extract",
-            k,
-            wall: t0.elapsed(),
-            thread_work: None,
-        });
+        span.finish_serial();
 
         iter_stats.push(IterStats {
             k,
@@ -257,9 +247,10 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
     };
     let stats = ParallelRunStats {
         n_threads: p,
-        phases,
+        phases: metrics.take_phases(),
         wall: run_start.elapsed(),
         count_meters: run_meters,
+        metrics: metrics.snapshot(),
     };
     (result, stats)
 }

@@ -15,38 +15,16 @@
 //! with wall-clock ([`ParallelRunStats::wall`]) across thread counts too.
 
 use arm_hashtree::WorkMeter;
+use arm_metrics::MetricsSnapshot;
 use std::time::Duration;
 
 /// One recorded phase of a parallel mining run.
-#[derive(Debug, Clone)]
-pub struct PhaseStat {
-    /// Phase label, e.g. `"count"`, `"candgen"`, `"freeze"`.
-    pub name: &'static str,
-    /// Iteration the phase belongs to (`k`), 0 for run-global phases.
-    pub k: u32,
-    /// Measured wall time of the phase.
-    pub wall: Duration,
-    /// Per-thread work units; `None` marks a serial phase.
-    pub thread_work: Option<Vec<u64>>,
-}
-
-impl PhaseStat {
-    /// `max(work) / mean(work)` — 1.0 is perfect balance. Serial phases
-    /// report 1.0.
-    pub fn imbalance(&self) -> f64 {
-        match &self.thread_work {
-            None => 1.0,
-            Some(w) => {
-                let sum: u64 = w.iter().sum();
-                if sum == 0 || w.is_empty() {
-                    return 1.0;
-                }
-                let max = *w.iter().max().unwrap();
-                max as f64 / (sum as f64 / w.len() as f64)
-            }
-        }
-    }
-}
+///
+/// Since the observability layer landed this is [`arm_metrics::PhaseRecord`]
+/// (the drivers record phases through a
+/// [`arm_metrics::MetricsRegistry`]); the historical `PhaseStat` name is
+/// kept as the crate's public alias.
+pub use arm_metrics::PhaseRecord as PhaseStat;
 
 /// Statistics of one parallel mining run.
 #[derive(Debug, Clone)]
@@ -59,6 +37,10 @@ pub struct ParallelRunStats {
     pub wall: Duration,
     /// Per-thread counting meters, merged across iterations.
     pub count_meters: Vec<WorkMeter>,
+    /// Per-thread telemetry counters (lock contention, counter CAS
+    /// retries, scratch/tree tallies). All-zero when the `metrics`
+    /// feature is off.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ParallelRunStats {
@@ -219,6 +201,7 @@ mod tests {
             phases,
             wall: Duration::from_secs(1),
             count_meters: Vec::new(),
+            metrics: MetricsSnapshot::default(),
         }
     }
 

@@ -1,0 +1,109 @@
+//! Property tests for the work model: the simulated speedup is bounded by
+//! `[1, n_threads]` and the imbalance metric is `≥ 1`, with equality
+//! exactly on uniform work vectors.
+
+use arm_metrics::PhaseRecord;
+use arm_parallel::{ParallelRunStats, PhaseStat};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn stats(n_threads: usize, phases: Vec<PhaseStat>) -> ParallelRunStats {
+    ParallelRunStats {
+        n_threads,
+        phases,
+        wall: Duration::from_secs(1),
+        count_meters: Vec::new(),
+        metrics: Default::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Simulated speedup can never drop below 1 (shrinking a phase to its
+    /// critical path cannot slow it down) nor exceed the thread count
+    /// (the critical path is at least `sum/n`).
+    #[test]
+    fn simulated_speedup_is_bounded_by_thread_count(
+        runs in vec(
+            (1u64..1_000, vec(0u64..10_000, 1..8)),
+            1..6,
+        ),
+        serial_ms in vec(0u64..100, 0..4),
+    ) {
+        let n_threads = runs.iter().map(|(_, w)| w.len()).max().unwrap();
+        let mut phases: Vec<PhaseStat> = runs
+            .iter()
+            .map(|(ms, work)| PhaseRecord {
+                name: "count",
+                k: 2,
+                wall: Duration::from_millis(*ms),
+                thread_work: Some(work.clone()),
+            })
+            .collect();
+        phases.extend(serial_ms.iter().map(|&ms| PhaseRecord {
+            name: "freeze",
+            k: 2,
+            wall: Duration::from_millis(ms),
+            thread_work: None,
+        }));
+        let s = stats(n_threads, phases);
+        let speedup = s.simulated_speedup();
+        prop_assert!(speedup >= 1.0 - 1e-9, "speedup {speedup} < 1");
+        prop_assert!(
+            speedup <= n_threads as f64 + 1e-9,
+            "speedup {speedup} > n_threads {n_threads}"
+        );
+        // simulated_time * speedup == serialized_time by construction.
+        let resid = s.simulated_time() * speedup - s.serialized_time();
+        prop_assert!(resid.abs() < 1e-6);
+    }
+
+    /// `imbalance()` is `≥ 1`, and `== 1` exactly when every thread did
+    /// the same amount of work (or the phase recorded no work at all).
+    #[test]
+    fn imbalance_is_at_least_one_with_equality_iff_uniform(
+        work in vec(0u64..1_000, 1..9),
+    ) {
+        let ph = PhaseRecord {
+            name: "count",
+            k: 2,
+            wall: Duration::from_millis(1),
+            thread_work: Some(work.clone()),
+        };
+        let imb = ph.imbalance();
+        prop_assert!(imb >= 1.0);
+        let uniform = work.iter().all(|&w| w == work[0]);
+        let total: u64 = work.iter().sum();
+        if uniform || total == 0 {
+            prop_assert_eq!(imb, 1.0);
+        } else {
+            prop_assert!(imb > 1.0, "non-uniform {work:?} gave imbalance 1.0");
+        }
+    }
+
+    /// Serial phases always report imbalance 1 (there is nothing to
+    /// balance), and a uniform run's speedup equals the parallel-fraction
+    /// ideal.
+    #[test]
+    fn uniform_two_thread_phase_doubles(ms in 1u64..1_000, w in 1u64..10_000) {
+        let ph = PhaseRecord {
+            name: "count",
+            k: 2,
+            wall: Duration::from_millis(ms),
+            thread_work: Some(vec![w, w]),
+        };
+        prop_assert_eq!(ph.imbalance(), 1.0);
+        let s = stats(2, vec![ph]);
+        prop_assert!((s.simulated_speedup() - 2.0).abs() < 1e-9);
+
+        let serial = PhaseRecord {
+            name: "candgen",
+            k: 2,
+            wall: Duration::from_millis(ms),
+            thread_work: None,
+        };
+        prop_assert_eq!(serial.imbalance(), 1.0);
+    }
+}

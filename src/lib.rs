@@ -16,6 +16,7 @@
 //! | [`hashtree`] | the candidate hash tree: concurrent build, placement freeze, counting |
 //! | [`core`] | sequential Apriori, candidate generation, rule generation |
 //! | [`parallel`] | CCPD and PCCD with phase/work statistics |
+//! | [`metrics`] | phase timers, lock/counter telemetry, `RunReport` JSON/CSV |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ pub use arm_core as core;
 pub use arm_dataset as dataset;
 pub use arm_hashtree as hashtree;
 pub use arm_mem as mem;
+pub use arm_metrics as metrics;
 pub use arm_parallel as parallel;
 pub use arm_quest as quest;
 
@@ -57,6 +59,7 @@ pub mod prelude {
     };
     pub use arm_dataset::{Database, DatabaseBuilder, DatasetStats};
     pub use arm_hashtree::PlacementPolicy;
-    pub use arm_parallel::{ccpd, pccd, ParallelConfig, ParallelRunStats};
+    pub use arm_metrics::{MetricsRegistry, MetricsSnapshot, RunReport};
+    pub use arm_parallel::{ccpd, pccd, run_report, ParallelConfig, ParallelRunStats};
     pub use arm_quest::{generate, QuestParams};
 }

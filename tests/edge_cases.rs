@@ -120,6 +120,106 @@ fn transactions_shorter_than_k_are_ignored() {
     assert_eq!(r.support_of(&[0]), Some(15));
 }
 
+/// Runs the same config through the sequential, CCPD, and PCCD paths and
+/// asserts all three agree; returns the sequential result for further
+/// checks.
+fn all_paths(db: &Database, cfg: &AprioriConfig) -> MiningResult {
+    let seq = parallel_arm::core::mine(db, cfg);
+    let expected = seq.all_itemsets();
+    for p in [1usize, 4] {
+        let (c, _) = ccpd::mine(db, &ParallelConfig::new(cfg.clone(), p));
+        assert_eq!(c.all_itemsets(), expected, "CCPD P={p}");
+        let (q, _) = pccd::mine(db, &ParallelConfig::new(cfg.clone(), p));
+        assert_eq!(q.all_itemsets(), expected, "PCCD P={p}");
+    }
+    seq
+}
+
+#[test]
+fn empty_database_all_paths() {
+    let db = Database::from_transactions(8, Vec::<Vec<u32>>::new()).unwrap();
+    let r = all_paths(&db, &cfg_abs(1));
+    assert_eq!(r.total_frequent(), 0);
+    assert_eq!(r.max_k(), 0);
+}
+
+#[test]
+fn min_support_zero_clamps_to_one() {
+    // `Support::Absolute(0)` resolves to 1 (documented clamp): every item
+    // that appears at all is frequent, and all paths agree on that.
+    let db = Database::from_transactions(4, [vec![0u32, 1], vec![1, 2], vec![3]]).unwrap();
+    let r = all_paths(&db, &cfg_abs(0));
+    assert_eq!(r.min_support, 1);
+    assert_eq!(r.support_of(&[3]), Some(1));
+    assert_eq!(r.support_of(&[1, 2]), Some(1));
+    // Fraction 0.0 clamps identically.
+    let frac = AprioriConfig {
+        min_support: Support::Fraction(0.0),
+        ..cfg_abs(0)
+    };
+    assert_eq!(
+        all_paths(&db, &frac).all_itemsets(),
+        r.all_itemsets(),
+        "Fraction(0.0) vs Absolute(0)"
+    );
+}
+
+#[test]
+fn min_support_equal_to_database_size() {
+    // Only itemsets present in *every* transaction survive.
+    let db = Database::from_transactions(
+        5,
+        [
+            vec![0u32, 1, 2],
+            vec![0, 1, 3],
+            vec![0, 1, 2, 4],
+            vec![0, 1],
+        ],
+    )
+    .unwrap();
+    let r = all_paths(&db, &cfg_abs(4));
+    assert_eq!(r.min_support, 4);
+    let sets: Vec<Vec<u32>> = r.all_itemsets().into_iter().map(|(s, _)| s).collect();
+    assert_eq!(sets, vec![vec![0], vec![1], vec![0, 1]]);
+    // One above |D|: nothing qualifies.
+    assert_eq!(all_paths(&db, &cfg_abs(5)).total_frequent(), 0);
+}
+
+#[test]
+fn single_item_transactions_never_reach_k2() {
+    // Every transaction has exactly one item: F1 is non-empty but no pair
+    // can be frequent, so mining must stop cleanly after candidate
+    // generation at k = 2.
+    let db = Database::from_transactions(4, (0..12).map(|i| vec![i % 4u32])).unwrap();
+    let r = all_paths(&db, &cfg_abs(2));
+    assert_eq!(r.levels.len(), 1);
+    assert_eq!(r.total_frequent(), 4);
+    assert!(r
+        .all_itemsets()
+        .iter()
+        .all(|(s, c)| s.len() == 1 && *c == 3));
+}
+
+#[test]
+fn transaction_longer_than_tree_depth() {
+    // A 40-item transaction walked against a depth-2 tree: the k-subset
+    // traversal must enumerate C(40,2) pairs without overflowing any
+    // depth-bounded scratch, in all paths.
+    let wide: Vec<u32> = (0..40).collect();
+    let mut txns = vec![wide.clone(), wide];
+    txns.push(vec![0, 1]);
+    let db = Database::from_transactions(40, txns).unwrap();
+    let cfg = AprioriConfig {
+        max_k: Some(2),
+        ..cfg_abs(2)
+    };
+    let r = all_paths(&db, &cfg);
+    // All C(40,2) = 780 pairs occur in both wide transactions.
+    assert_eq!(r.levels[1].len(), 780);
+    assert_eq!(r.support_of(&[0, 1]), Some(3));
+    assert_eq!(r.support_of(&[38, 39]), Some(2));
+}
+
 #[test]
 fn quest_generator_edge_parameters() {
     // Tiny universes and degenerate pattern pools must still generate.

@@ -38,6 +38,16 @@ impl<T: ?Sized> Mutex<T> {
         }
     }
 
+    /// Attempts to acquire the lock without blocking, returning `None`
+    /// when it is currently held (parking_lot's `try_lock` API).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Returns a mutable reference without locking (requires `&mut`).
     pub fn get_mut(&mut self) -> &mut T {
         match self.inner.get_mut() {
