@@ -11,12 +11,20 @@ use std::ops::Range;
 /// partition when run in parallel).
 pub fn count_singletons(db: &Database, range: Range<usize>) -> Vec<u32> {
     let mut counts = vec![0u32; db.n_items() as usize];
+    count_singletons_into(db, range, &mut counts);
+    counts
+}
+
+/// Accumulates item occurrences for `range` into an existing histogram.
+/// Chunked schedulers call this once per claimed chunk; summing over any
+/// exact partition of the database reproduces [`count_singletons`].
+pub fn count_singletons_into(db: &Database, range: Range<usize>, counts: &mut [u32]) {
+    debug_assert_eq!(counts.len(), db.n_items() as usize);
     for i in range {
         for &item in db.transaction(i) {
             counts[item as usize] += 1;
         }
     }
-    counts
 }
 
 /// Builds `F_1` from an item histogram.
@@ -54,6 +62,15 @@ pub fn pair_bucket(a: Item, b: Item, buckets: usize) -> usize {
 pub fn count_pair_buckets(db: &Database, range: Range<usize>, buckets: usize) -> Vec<u32> {
     assert!(buckets > 0, "DHP table needs at least one bucket");
     let mut table = vec![0u32; buckets];
+    count_pair_buckets_into(db, range, &mut table);
+    table
+}
+
+/// Accumulates hashed pair occurrences for `range` into an existing
+/// table (chunk-at-a-time counterpart of [`count_pair_buckets`]).
+pub fn count_pair_buckets_into(db: &Database, range: Range<usize>, table: &mut [u32]) {
+    assert!(!table.is_empty(), "DHP table needs at least one bucket");
+    let buckets = table.len();
     for i in range {
         let txn = db.transaction(i);
         for (ai, &a) in txn.iter().enumerate() {
@@ -62,7 +79,6 @@ pub fn count_pair_buckets(db: &Database, range: Range<usize>, buckets: usize) ->
             }
         }
     }
-    table
 }
 
 #[cfg(test)]

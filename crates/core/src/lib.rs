@@ -45,7 +45,7 @@ pub mod taxonomy;
 pub use apriori::{f1_items, make_hash, mine, mine_with, IterStats, MiningResult};
 pub use config::{AprioriConfig, HashScheme, Support};
 pub use eclat::mine_eclat;
-pub use f1::{count_singletons, frequent_from_counts, frequent_singletons};
+pub use f1::{count_singletons, count_singletons_into, frequent_from_counts, frequent_singletons};
 pub use generation::{
     adaptive_fanout, class_weight, equivalence_classes, generate_candidates, generate_class,
     generate_class_member,

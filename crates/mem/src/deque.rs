@@ -1,0 +1,115 @@
+//! Double-ended chunk queue for work distribution.
+//!
+//! [`ChunkDeque`] is the storage primitive behind the stealing scheduler in
+//! `arm-exec`: each worker owns one deque of pending chunks. The owner pops
+//! from the *front* (the large, cache-local chunks seeded first), while
+//! thieves pop from the *back* (the small tail chunks), which bounds how much
+//! data migrates across threads on a steal.
+//!
+//! The implementation deliberately uses a `parking_lot::Mutex<VecDeque>`
+//! rather than a lock-free Chase-Lev deque: chunks here are coarse (hundreds
+//! of transactions each), so a deque operation happens at most a few thousand
+//! times per mining pass and the uncontended `parking_lot` fast path (one
+//! CAS) is already far below measurement noise. Correctness stays trivially
+//! auditable, which matters because the differential suite demands
+//! bit-identical counts under every interleaving.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// A mutex-protected double-ended queue of work chunks.
+///
+/// Front = owner end (pop next sequential chunk), back = thief end (steal
+/// the smallest remaining chunk).
+#[derive(Debug, Default)]
+pub struct ChunkDeque<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> ChunkDeque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        ChunkDeque {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Creates an empty deque with room for `cap` chunks.
+    pub fn with_capacity(cap: usize) -> Self {
+        ChunkDeque {
+            inner: Mutex::new(VecDeque::with_capacity(cap)),
+        }
+    }
+
+    /// Appends a chunk at the thief end. Used only while seeding.
+    pub fn push_back(&self, v: T) {
+        self.inner.lock().push_back(v);
+    }
+
+    /// Owner path: takes the next sequential chunk from the front.
+    pub fn pop_front(&self) -> Option<T> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Thief path: takes the last (smallest) chunk from the back.
+    pub fn pop_back(&self) -> Option<T> {
+        self.inner.lock().pop_back()
+    }
+
+    /// Number of chunks currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no chunks remain.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_from_front_lifo_from_back() {
+        let d = ChunkDeque::new();
+        for i in 0..4 {
+            d.push_back(i);
+        }
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.pop_front(), Some(0));
+        assert_eq!(d.pop_back(), Some(3));
+        assert_eq!(d.pop_front(), Some(1));
+        assert_eq!(d.pop_back(), Some(2));
+        assert!(d.is_empty());
+        assert_eq!(d.pop_front(), None);
+        assert_eq!(d.pop_back(), None);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let d = std::sync::Arc::new(ChunkDeque::with_capacity(64));
+        for i in 0..1000u32 {
+            d.push_back(i);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let d = d.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = d.pop_back() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        // Every chunk taken exactly once.
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+}

@@ -39,10 +39,18 @@ pub enum Counter {
     TreeBytes = 8,
     /// Reachable nodes of frozen hash trees across all iterations.
     TreeNodes = 9,
+    /// Scheduler chunks this thread claimed and executed (arm-exec).
+    ChunksExecuted = 10,
+    /// Chunks migrated onto this thread by a successful steal.
+    ChunksStolen = 11,
+    /// Steal probes this thread issued, successful or not.
+    StealAttempts = 12,
+    /// Failed CAS iterations on the shared scheduling cursor.
+    CursorCasRetries = 13,
 }
 
 /// Number of distinct counters (shard slot count).
-pub const N_COUNTERS: usize = 10;
+pub const N_COUNTERS: usize = 14;
 
 impl Counter {
     /// Every counter, in slot order.
@@ -57,6 +65,10 @@ impl Counter {
         Counter::ScratchStampBytes,
         Counter::TreeBytes,
         Counter::TreeNodes,
+        Counter::ChunksExecuted,
+        Counter::ChunksStolen,
+        Counter::StealAttempts,
+        Counter::CursorCasRetries,
     ];
 
     /// The report field name.
@@ -72,6 +84,10 @@ impl Counter {
             Counter::ScratchStampBytes => "scratch_stamp_bytes",
             Counter::TreeBytes => "tree_bytes",
             Counter::TreeNodes => "tree_nodes",
+            Counter::ChunksExecuted => "chunks_executed",
+            Counter::ChunksStolen => "chunks_stolen",
+            Counter::StealAttempts => "steal_attempts",
+            Counter::CursorCasRetries => "cursor_cas_retries",
         }
     }
 }

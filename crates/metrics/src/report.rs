@@ -57,6 +57,14 @@ pub struct ThreadReport {
     pub ctr_increments: u64,
     /// CAS retries across those increments.
     pub ctr_cas_retries: u64,
+    /// Scheduler chunks this thread claimed and executed.
+    pub chunks_executed: u64,
+    /// Chunks migrated onto this thread by a successful steal.
+    pub chunks_stolen: u64,
+    /// Steal probes this thread issued, successful or not.
+    pub steal_attempts: u64,
+    /// Failed CAS iterations on the shared scheduling cursor.
+    pub cursor_cas_retries: u64,
 }
 
 /// Lock/contention totals across threads.
@@ -72,6 +80,19 @@ pub struct LockReport {
     pub ctr_increments: u64,
     /// Total CAS retries on shared counters.
     pub ctr_cas_retries: u64,
+}
+
+/// Scheduling totals across threads (arm-exec chunk pools).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedReport {
+    /// Total chunks claimed and executed.
+    pub chunks_executed: u64,
+    /// Chunks that migrated between threads via stealing.
+    pub chunks_stolen: u64,
+    /// Steal probes issued, successful or not.
+    pub steal_attempts: u64,
+    /// Failed CAS iterations on shared scheduling cursors.
+    pub cursor_cas_retries: u64,
 }
 
 /// Allocator/scratch/tree memory totals.
@@ -129,6 +150,8 @@ pub struct RunReport {
     pub threads: Vec<ThreadReport>,
     /// Lock/contention totals.
     pub locks: LockReport,
+    /// Scheduling totals.
+    pub sched: SchedReport,
     /// Memory totals.
     pub mem: MemReport,
     /// Per-iteration tree/candidate profile.
@@ -188,6 +211,10 @@ impl RunReport {
             row.lock_wait_ns = snap.get(t, Counter::LeafLockWaitNs);
             row.ctr_increments = snap.get(t, Counter::CtrIncrements);
             row.ctr_cas_retries = snap.get(t, Counter::CtrCasRetries);
+            row.chunks_executed = snap.get(t, Counter::ChunksExecuted);
+            row.chunks_stolen = snap.get(t, Counter::ChunksStolen);
+            row.steal_attempts = snap.get(t, Counter::StealAttempts);
+            row.cursor_cas_retries = snap.get(t, Counter::CursorCasRetries);
         }
         self.locks = LockReport {
             leaf_acquires: snap.total(Counter::LeafLockAcquires),
@@ -195,6 +222,12 @@ impl RunReport {
             leaf_wait_ns: snap.total(Counter::LeafLockWaitNs),
             ctr_increments: snap.total(Counter::CtrIncrements),
             ctr_cas_retries: snap.total(Counter::CtrCasRetries),
+        };
+        self.sched = SchedReport {
+            chunks_executed: snap.total(Counter::ChunksExecuted),
+            chunks_stolen: snap.total(Counter::ChunksStolen),
+            steal_attempts: snap.total(Counter::StealAttempts),
+            cursor_cas_retries: snap.total(Counter::CursorCasRetries),
         };
         self.mem = MemReport {
             tree_bytes: snap.total(Counter::TreeBytes),
@@ -238,6 +271,18 @@ impl RunReport {
                     ("leaf_wait_ns".into(), int(self.locks.leaf_wait_ns)),
                     ("ctr_increments".into(), int(self.locks.ctr_increments)),
                     ("ctr_cas_retries".into(), int(self.locks.ctr_cas_retries)),
+                ]),
+            ),
+            (
+                "sched".into(),
+                Json::Obj(vec![
+                    ("chunks_executed".into(), int(self.sched.chunks_executed)),
+                    ("chunks_stolen".into(), int(self.sched.chunks_stolen)),
+                    ("steal_attempts".into(), int(self.sched.steal_attempts)),
+                    (
+                        "cursor_cas_retries".into(),
+                        int(self.sched.cursor_cas_retries),
+                    ),
                 ]),
             ),
             (
@@ -304,6 +349,12 @@ impl RunReport {
                 lock_wait_ns: u64_field(t, "lock_wait_ns")?,
                 ctr_increments: u64_field(t, "ctr_increments")?,
                 ctr_cas_retries: u64_field(t, "ctr_cas_retries")?,
+                // Scheduling fields arrived after v1 reports were first
+                // written; absent means zero so older files still parse.
+                chunks_executed: u64_field_or(t, "chunks_executed", 0)?,
+                chunks_stolen: u64_field_or(t, "chunks_stolen", 0)?,
+                steal_attempts: u64_field_or(t, "steal_attempts", 0)?,
+                cursor_cas_retries: u64_field_or(t, "cursor_cas_retries", 0)?,
             });
         }
         let l = v.get("locks").ok_or("missing locks")?;
@@ -314,6 +365,16 @@ impl RunReport {
             ctr_increments: u64_field(l, "ctr_increments")?,
             ctr_cas_retries: u64_field(l, "ctr_cas_retries")?,
         };
+        // Like the per-thread chunk fields, "sched" postdates the first v1
+        // reports: a missing section (or missing keys) reads as zeros.
+        if let Some(s) = v.get("sched") {
+            r.sched = SchedReport {
+                chunks_executed: u64_field_or(s, "chunks_executed", 0)?,
+                chunks_stolen: u64_field_or(s, "chunks_stolen", 0)?,
+                steal_attempts: u64_field_or(s, "steal_attempts", 0)?,
+                cursor_cas_retries: u64_field_or(s, "cursor_cas_retries", 0)?,
+            };
+        }
         let m = v.get("mem").ok_or("missing mem")?;
         r.mem = MemReport {
             tree_bytes: u64_field(m, "tree_bytes")?,
@@ -442,6 +503,10 @@ fn thread_value(t: &ThreadReport) -> Json {
         ("lock_wait_ns".into(), int(t.lock_wait_ns)),
         ("ctr_increments".into(), int(t.ctr_increments)),
         ("ctr_cas_retries".into(), int(t.ctr_cas_retries)),
+        ("chunks_executed".into(), int(t.chunks_executed)),
+        ("chunks_stolen".into(), int(t.chunks_stolen)),
+        ("steal_attempts".into(), int(t.steal_attempts)),
+        ("cursor_cas_retries".into(), int(t.cursor_cas_retries)),
     ])
 }
 
@@ -466,6 +531,16 @@ fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| format!("missing integer field {key}"))
+}
+
+/// Like [`u64_field`] but an absent key yields `default` (a present
+/// non-integer value is still an error). Used for fields added after the
+/// first v1 reports were written.
+fn u64_field_or(v: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x.as_u64().ok_or_else(|| format!("non-integer field {key}")),
+    }
 }
 
 fn f64_field(v: &Json, key: &str) -> Result<f64, String> {
@@ -528,6 +603,14 @@ mod tests {
         ];
         r.locks.leaf_acquires = 123;
         r.locks.leaf_contended = 4;
+        r.threads[0].chunks_executed = 5;
+        r.threads[1].chunks_stolen = 2;
+        r.sched = SchedReport {
+            chunks_executed: 9,
+            chunks_stolen: 2,
+            steal_attempts: 6,
+            cursor_cas_retries: 1,
+        };
         r.mem.tree_bytes = 4096;
         r.iters = vec![IterReport {
             k: 2,
@@ -606,6 +689,45 @@ mod tests {
             r.summary_csv_row().split(',').count(),
             SUMMARY_CSV_HEADER.split(',').count()
         );
+    }
+
+    #[test]
+    fn parses_reports_predating_sched_fields() {
+        // A v1 report written before the scheduling layer existed: thread
+        // objects lack the chunk/steal fields and there is no "sched"
+        // section. It must parse with those values defaulting to zero.
+        let mut old = sample();
+        old.threads.iter_mut().for_each(|t| {
+            t.chunks_executed = 0;
+            t.chunks_stolen = 0;
+            t.steal_attempts = 0;
+            t.cursor_cas_retries = 0;
+        });
+        old.sched = SchedReport::default();
+        fn strip(v: Json) -> Json {
+            const NEW_KEYS: &[&str] = &[
+                "sched",
+                "chunks_executed",
+                "chunks_stolen",
+                "steal_attempts",
+                "cursor_cas_retries",
+            ];
+            match v {
+                Json::Obj(fields) => Json::Obj(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| !NEW_KEYS.contains(&k.as_str()))
+                        .map(|(k, x)| (k, strip(x)))
+                        .collect(),
+                ),
+                Json::Arr(items) => Json::Arr(items.into_iter().map(strip).collect()),
+                other => other,
+            }
+        }
+        let text = strip(old.to_value()).pretty();
+        assert!(!text.contains("chunks_executed") && !text.contains("sched"));
+        let back = RunReport::from_json(&text).expect("old report must parse");
+        assert_eq!(back, old);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use arm_metrics::{
     json::parse, reports_from_json, reports_to_json, IterReport, Json, LockReport, MemReport,
-    PhaseReport, RunReport, ThreadReport,
+    PhaseReport, RunReport, SchedReport, ThreadReport,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -56,8 +56,8 @@ proptest! {
         scalars in (0usize..64, 0u32..1_000_000, any::<bool>()),
         floats in vec(0.0f64..1.0e9, 3),
         phases in vec((0usize..NAMES.len(), 1u32..16, vec(0u64..MAX_INT, 0..5)), 0..6),
-        threads in vec(vec(0u64..MAX_INT, 11), 0..5),
-        lock_mem in vec(0u64..MAX_INT, 10),
+        threads in vec(vec(0u64..MAX_INT, 15), 0..5),
+        lock_mem in vec(0u64..MAX_INT, 14),
         iters in vec((1u32..16, vec(0u64..MAX_INT, 4)), 0..6),
         phase_floats in vec(0.0f64..1.0e6, 12),
     ) {
@@ -98,6 +98,10 @@ proptest! {
                     lock_wait_ns: v[8],
                     ctr_increments: v[9],
                     ctr_cas_retries: v[10],
+                    chunks_executed: v[11],
+                    chunks_stolen: v[12],
+                    steal_attempts: v[13],
+                    cursor_cas_retries: v[14],
                 })
                 .collect(),
             locks: LockReport {
@@ -106,6 +110,12 @@ proptest! {
                 leaf_wait_ns: lock_mem[2],
                 ctr_increments: lock_mem[3],
                 ctr_cas_retries: lock_mem[4],
+            },
+            sched: SchedReport {
+                chunks_executed: lock_mem[10],
+                chunks_stolen: lock_mem[11],
+                steal_attempts: lock_mem[12],
+                cursor_cas_retries: lock_mem[13],
             },
             mem: MemReport {
                 tree_bytes: lock_mem[5],

@@ -13,18 +13,26 @@
 //!   tree, with counters inline / segregated / privatized per policy;
 //! * extraction: the master thread selects `F_k`.
 //!
+//! The data-parallel phases (F1, tree build, counting) draw their work from
+//! an [`arm_exec::ChunkPool`] seeded with the phase's static split: under
+//! `Scheduling::Static` each thread receives exactly its block (the paper's
+//! behavior and the differential oracle), while the chunked/guided/stealing
+//! modes re-balance the same indices at run time without changing any
+//! result.
+//!
 //! Every phase records wall time and per-thread work for the speedup model
 //! in [`crate::stats`].
 
 use crate::config::{DbPartition, ParallelConfig};
 use crate::scratch::ScratchPool;
 use crate::stats::ParallelRunStats;
-use arm_core::f1::{count_pair_buckets, pair_bucket};
+use arm_core::f1::{count_pair_buckets_into, pair_bucket};
 use arm_core::{
-    adaptive_fanout, class_weight, count_singletons, equivalence_classes, f1_items,
+    adaptive_fanout, class_weight, count_singletons_into, equivalence_classes, f1_items,
     frequent_from_counts, generate_class, make_hash, FrequentLevel, IterStats, MiningResult,
 };
 use arm_dataset::{block_ranges, weighted_ranges, weighted_ranges_for_k, Database};
+use arm_exec::ChunkPool;
 use arm_hashtree::{
     freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, ItemFilter, TreeBuilder,
     WorkMeter,
@@ -48,21 +56,31 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
     let span = metrics.phase("f1", 1);
     let ranges = block_ranges(db.len(), p);
     let pair_buckets = cfg.base.pair_filter_buckets;
-    let partials: Vec<(Vec<u32>, Option<Vec<u32>>)> = run_threads(p, |t| {
-        let singles = count_singletons(db, ranges[t].clone());
-        let pairs = pair_buckets.map(|m| count_pair_buckets(db, ranges[t].clone(), m));
-        (singles, pairs)
+    let pool = ChunkPool::new(&ranges, cfg.scheduling);
+    let partials: Vec<(Vec<u32>, Option<Vec<u32>>, u64)> = run_threads(p, |t| {
+        let mut singles = vec![0u32; db.n_items() as usize];
+        let mut pairs = pair_buckets.map(|m| vec![0u32; m]);
+        let mut items = 0u64;
+        while let Some(r) = pool.next(t) {
+            items += (db.offsets()[r.end] - db.offsets()[r.start]) as u64;
+            count_singletons_into(db, r.clone(), &mut singles);
+            if let Some(table) = pairs.as_mut() {
+                count_pair_buckets_into(db, r, table);
+            }
+        }
+        (singles, pairs, items)
     });
-    let f1_work: Vec<u64> = ranges
-        .iter()
-        .map(|r| (db.offsets()[r.end] - db.offsets()[r.start]) as u64)
-        .collect();
+    record_exec(&metrics, &pool);
+    // Work units stay what they were under the static split — items
+    // actually scanned by each thread — so imbalance remains comparable
+    // across scheduling modes.
+    let f1_work: Vec<u64> = partials.iter().map(|(_, _, items)| *items).collect();
     span.finish(f1_work);
 
     let span = metrics.phase("reduce", 1);
     let mut counts = vec![0u32; db.n_items() as usize];
     let mut pair_table = pair_buckets.map(|m| vec![0u32; m]);
-    for (part, pairs) in &partials {
+    for (part, pairs, _) in &partials {
         for (c, v) in counts.iter_mut().zip(part) {
             *c += v;
         }
@@ -151,13 +169,19 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         let span = metrics.phase("build", k);
         let builder = TreeBuilder::new(&cands, &hash, cfg.base.leaf_threshold);
         let cand_ranges = block_ranges(cands.len(), p);
-        run_threads(p, |t| {
+        let pool = ChunkPool::new(&cand_ranges, cfg.scheduling);
+        let build_work: Vec<u64> = run_threads(p, |t| {
             let shard = metrics.shard(t);
-            for id in cand_ranges[t].clone() {
-                builder.insert_tallied(id as u32, shard);
+            let mut inserted = 0u64;
+            while let Some(r) = pool.next(t) {
+                inserted += r.len() as u64;
+                for id in r {
+                    builder.insert_tallied(id as u32, shard);
+                }
             }
+            inserted
         });
-        let build_work: Vec<u64> = cand_ranges.iter().map(|r| r.len() as u64).collect();
+        record_exec(&metrics, &pool);
         span.finish(build_work);
 
         // Freeze into the placement policy's image (serial, like the
@@ -191,6 +215,10 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         let per_thread = cfg.base.placement.per_thread_counters();
         let shared = (!inline && !per_thread).then(|| FlatCounters::new(cands.len()));
 
+        // Dynamic modes re-chunk the very same partition the static split
+        // would use, so a weighted DbPartition still seeds the deques with
+        // its cost estimate and stealing only corrects the residual error.
+        let pool = ChunkPool::new(&db_ranges, cfg.scheduling);
         let outcomes: Vec<(WorkMeter, Option<LocalCounters>)> = run_threads(p, |t| {
             let shard = metrics.shard(t);
             let mut pooled;
@@ -221,20 +249,23 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
                 } else {
                     CounterRef::Shared(tallied.as_ref().unwrap())
                 };
-                tree.count_partition(
-                    &hash,
-                    db,
-                    db_ranges[t].clone(),
-                    filter.as_ref(),
-                    scratch,
-                    &mut cref,
-                    opts,
-                    &mut meter,
-                );
+                while let Some(r) = pool.next(t) {
+                    tree.count_partition(
+                        &hash,
+                        db,
+                        r,
+                        filter.as_ref(),
+                        scratch,
+                        &mut cref,
+                        opts,
+                        &mut meter,
+                    );
+                }
             }
             shard.add(Counter::ScratchStampBytes, scratch.stamp_bytes() as u64);
             (meter, local)
         });
+        record_exec(&metrics, &pool);
         let meters: Vec<WorkMeter> = outcomes.iter().map(|(m, _)| *m).collect();
         let count_work: Vec<u64> = meters.iter().map(|m| m.work_units()).collect();
         for (rm, m) in run_meters.iter_mut().zip(&meters) {
@@ -374,6 +405,19 @@ fn generate_member(
     arm_core::generation::generate_class_member(prev, sub, out, scratch);
 }
 
+/// Folds a drained [`ChunkPool`]'s per-thread scheduling telemetry into
+/// the matching metrics shards.
+pub(crate) fn record_exec(metrics: &MetricsRegistry, pool: &ChunkPool) {
+    for t in 0..pool.n_threads() {
+        let s = pool.thread_stats(t);
+        let shard = metrics.shard(t);
+        shard.add(Counter::ChunksExecuted, s.chunks);
+        shard.add(Counter::ChunksStolen, s.stolen);
+        shard.add(Counter::StealAttempts, s.steal_attempts);
+        shard.add(Counter::CursorCasRetries, s.cursor_retries);
+    }
+}
+
 /// Spawns `p` scoped threads running `f(thread_id)` and collects results
 /// in thread order. With `p == 1` the closure runs on the caller's thread.
 pub(crate) fn run_threads<R: Send>(p: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
@@ -464,6 +508,25 @@ mod tests {
             let cfg = ParallelConfig::new(base_cfg(), 2).with_db_partition(part);
             let (r, _) = mine(&db, &cfg);
             assert_eq!(r.all_itemsets(), expected, "{part:?}");
+        }
+    }
+
+    #[test]
+    fn scheduling_modes_agree() {
+        use arm_exec::Scheduling;
+        let db = paper_db();
+        let expected = mine_seq(&db, &base_cfg()).all_itemsets();
+        for mode in [
+            Scheduling::Static,
+            Scheduling::Chunked { chunk: 1 },
+            Scheduling::Guided,
+            Scheduling::Stealing,
+        ] {
+            for p in [1usize, 2, 4] {
+                let cfg = ParallelConfig::new(base_cfg(), p).with_scheduling(mode);
+                let (r, _) = mine(&db, &cfg);
+                assert_eq!(r.all_itemsets(), expected, "{mode:?} P={p}");
+            }
         }
     }
 

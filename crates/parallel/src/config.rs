@@ -2,6 +2,7 @@
 
 use arm_balance::Scheme;
 use arm_core::AprioriConfig;
+use arm_exec::Scheduling;
 
 /// How the database is split across counting threads (§3.2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,6 +38,12 @@ pub struct ParallelConfig {
     pub parallel_candgen_min: usize,
     /// Database partitioning strategy for the counting phase.
     pub db_partition: DbPartition,
+    /// How data-parallel phases (F1, tree build, counting) distribute
+    /// their index space at run time. `Static` is the paper's fixed split
+    /// (and the differential-test oracle); the dynamic modes re-balance
+    /// the same partition via an `arm-exec` chunk pool without changing
+    /// any result.
+    pub scheduling: Scheduling,
 }
 
 impl ParallelConfig {
@@ -48,6 +55,7 @@ impl ParallelConfig {
             candgen_scheme: Scheme::Greedy,
             parallel_candgen_min: 64,
             db_partition: DbPartition::Block,
+            scheduling: Scheduling::default(),
         }
     }
 
@@ -60,6 +68,12 @@ impl ParallelConfig {
     /// Builder-style database-partition setter.
     pub fn with_db_partition(mut self, p: DbPartition) -> Self {
         self.db_partition = p;
+        self
+    }
+
+    /// Builder-style scheduling setter.
+    pub fn with_scheduling(mut self, s: Scheduling) -> Self {
+        self.scheduling = s;
         self
     }
 }
@@ -75,15 +89,18 @@ mod tests {
         assert_eq!(c.candgen_scheme, Scheme::Greedy);
         let c0 = ParallelConfig::new(AprioriConfig::default(), 0);
         assert_eq!(c0.n_threads, 1, "thread count clamps to 1");
+        assert_eq!(c.scheduling, Scheduling::Stealing);
     }
 
     #[test]
     fn builders() {
         let c = ParallelConfig::new(AprioriConfig::default(), 2)
             .with_candgen(Scheme::Block)
-            .with_db_partition(DbPartition::WeightedPerIteration);
+            .with_db_partition(DbPartition::WeightedPerIteration)
+            .with_scheduling(Scheduling::Chunked { chunk: 128 });
         assert_eq!(c.candgen_scheme, Scheme::Block);
         assert_eq!(c.db_partition, DbPartition::WeightedPerIteration);
+        assert_eq!(c.scheduling, Scheduling::Chunked { chunk: 128 });
         assert_eq!(DbPartition::default(), DbPartition::Block);
     }
 }

@@ -41,6 +41,7 @@ pub mod report;
 pub mod scratch;
 pub mod stats;
 
+pub use arm_exec::Scheduling;
 pub use config::{DbPartition, ParallelConfig};
 pub use report::run_report;
 pub use scratch::ScratchPool;

@@ -6,22 +6,24 @@
 //! the paper measured a speed-*down* and dropped the approach; we keep it
 //! as the baseline it is (Fig. 11 commentary, DESIGN.md experiment index).
 
-use crate::ccpd::run_threads;
+use crate::ccpd::{record_exec, run_threads};
 use crate::config::ParallelConfig;
 use crate::scratch::ScratchPool;
 use crate::stats::ParallelRunStats;
-use arm_metrics::{Counter, MetricsRegistry};
+use arm_metrics::{Counter, MetricsRegistry, TalliedCounters};
 
 use arm_core::{
     adaptive_fanout, count_singletons, equivalence_classes, f1_items, frequent_from_counts,
     generate_class, make_hash, FrequentLevel, IterStats, MiningResult,
 };
-use arm_dataset::Database;
+use arm_dataset::{block_ranges, Database};
+use arm_exec::{ChunkPool, Scheduling};
 use arm_hashtree::{
-    freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, ItemFilter, TreeBuilder,
-    WorkMeter,
+    freeze_policy, AnyFrozenTree, CandidateSet, CountOptions, CountScratch, CounterRef, ItemFilter,
+    TreeBuilder, WorkMeter,
 };
-use arm_mem::LocalCounters;
+use arm_mem::{FlatCounters, LocalCounters};
+use std::ops::Range;
 use std::time::Instant;
 
 /// Runs PCCD, returning the mining result (identical to sequential) and
@@ -96,6 +98,10 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         let assignment = cfg.candgen_scheme.assign(&weights, p);
 
         // Each thread: local tree over its candidates, full database scan.
+        // Under `Static` each bin is scanned start-to-finish by its owner
+        // (the paper's formulation, kept verbatim as the oracle); the
+        // dynamic modes chunk every bin's scan over (bin, db-chunk) units
+        // so a thread that finishes its own tree helps scan the others.
         let span = metrics.phase("count", k);
         let opts = CountOptions {
             short_circuit: cfg.base.short_circuit,
@@ -103,93 +109,33 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
             hash_memo: cfg.base.hash_memo,
             iterative: cfg.base.iterative_walk,
         };
-        // (global candidate ids, their counts, meter, tree bytes, tree nodes)
-        type ThreadOutcome = (Vec<u32>, Vec<u32>, WorkMeter, usize, u32);
-        let outcomes: Vec<ThreadOutcome> = run_threads(p, |t| {
-            let shard = metrics.shard(t);
-            let ids = &assignment.bins[t]; // sorted → lexicographic subset
-            let mut local_set = CandidateSet::new(k);
-            for &id in ids {
-                local_set.push(cands.get(id as u32));
-            }
-            let mut meter = WorkMeter::default();
-            if local_set.is_empty() {
-                return (Vec::new(), Vec::new(), meter, 0, 0);
-            }
-            // Local trees are private, so lock telemetry here records the
-            // uncontended baseline PCCD trades CCPD's shared tree for.
-            let builder = TreeBuilder::new(&local_set, &hash, cfg.base.leaf_threshold);
-            builder.insert_all_tallied(shard);
-            let tree = freeze_policy(&builder, cfg.base.placement);
-            shard.add(Counter::TreeBytes, tree.total_bytes() as u64);
-            shard.add(Counter::TreeNodes, tree.n_nodes() as u64);
-            // Each worker trims against its *own* candidate subset — a
-            // tighter (still lossless) filter than the global one.
-            let filter = cfg
-                .base
-                .trim_transactions
-                .then(|| ItemFilter::from_candidates(&local_set, db.n_items()));
-            let filter = filter.as_ref();
-            let mut pooled;
-            let mut fresh;
-            let scratch: &mut CountScratch = match &scratch_pool {
-                Some(pool) => {
-                    shard.incr(Counter::ScratchRetargets);
-                    pooled = pool.slot(t);
-                    pooled.retarget(tree.n_nodes());
-                    &mut pooled
-                }
-                None => {
-                    shard.incr(Counter::ScratchAllocs);
-                    fresh = CountScratch::new(db.n_items(), tree.n_nodes());
-                    &mut fresh
-                }
-            };
-            let local_counts: Vec<u32> = if tree.counters_inline() {
-                let mut cref = CounterRef::Inline;
-                tree.count_partition(
-                    &hash,
-                    db,
-                    0..db.len(),
-                    filter,
-                    scratch,
-                    &mut cref,
-                    opts,
-                    &mut meter,
-                );
-                tree.inline_counts()
-            } else {
-                let mut local = LocalCounters::new(local_set.len());
-                {
-                    let mut cref = CounterRef::Local(&mut local);
-                    tree.count_partition(
-                        &hash,
-                        db,
-                        0..db.len(),
-                        filter,
-                        scratch,
-                        &mut cref,
-                        opts,
-                        &mut meter,
-                    );
-                }
-                local.slots().to_vec()
-            };
-            shard.add(Counter::ScratchStampBytes, scratch.stamp_bytes() as u64);
-            let ids_u32: Vec<u32> = ids.iter().map(|&i| i as u32).collect();
-            (
-                ids_u32,
-                local_counts,
-                meter,
-                tree.total_bytes(),
-                tree.n_nodes(),
+        let (bin_counts, meters, tree_bytes, tree_nodes) = if cfg.scheduling == Scheduling::Static {
+            count_static(
+                db,
+                cfg,
+                &cands,
+                &hash,
+                &assignment.bins,
+                &scratch_pool,
+                opts,
+                &metrics,
+                p,
             )
-        });
-        let count_work: Vec<u64> = outcomes
-            .iter()
-            .map(|(_, _, m, _, _)| m.work_units())
-            .collect();
-        for (rm, (_, _, m, _, _)) in run_meters.iter_mut().zip(&outcomes) {
+        } else {
+            count_dynamic(
+                db,
+                cfg,
+                &cands,
+                &hash,
+                &assignment.bins,
+                &scratch_pool,
+                opts,
+                &metrics,
+                p,
+            )
+        };
+        let count_work: Vec<u64> = meters.iter().map(|m| m.work_units()).collect();
+        for (rm, m) in run_meters.iter_mut().zip(&meters) {
             rm.merge(m);
         }
         span.finish(count_work);
@@ -197,16 +143,14 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         // Reduction: scatter local counts back to global candidate ids.
         let span = metrics.phase("extract", k);
         let mut final_counts = vec![0u32; cands.len()];
-        let mut tree_bytes = 0usize;
-        let mut tree_nodes = 0u32;
         let mut total_meter = WorkMeter::default();
-        for (ids, local_counts, meter, tb, tn) in &outcomes {
+        for (ids, local_counts) in &bin_counts {
             for (slot, &id) in ids.iter().enumerate() {
                 final_counts[id as usize] = local_counts[slot];
             }
-            tree_bytes += tb;
-            tree_nodes += tn;
-            total_meter.merge(meter);
+        }
+        for m in &meters {
+            total_meter.merge(m);
         }
         let mut fk_sets = CandidateSet::new(k);
         let mut fk_supports = Vec::new();
@@ -255,6 +199,265 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
     (result, stats)
 }
 
+/// Per-bin scatter-back data: the bin's global candidate ids and their
+/// final counts, slot-aligned.
+type BinCounts = Vec<(Vec<u32>, Vec<u32>)>;
+
+/// The paper's static formulation, kept verbatim as the differential
+/// oracle: bin `t`'s owner builds its local tree and scans the entire
+/// database alone, accumulating into private `LocalCounters`.
+///
+/// Returns per-bin (ids, counts), per-thread meters, and total tree
+/// bytes/nodes across bins.
+#[allow(clippy::too_many_arguments)]
+fn count_static(
+    db: &Database,
+    cfg: &ParallelConfig,
+    cands: &CandidateSet,
+    hash: &arm_balance::AnyHash,
+    bins: &[Vec<usize>],
+    scratch_pool: &Option<ScratchPool>,
+    opts: CountOptions,
+    metrics: &MetricsRegistry,
+    p: usize,
+) -> (BinCounts, Vec<WorkMeter>, usize, u32) {
+    let k = cands.k();
+    // (global candidate ids, their counts, meter, tree bytes, tree nodes)
+    type ThreadOutcome = (Vec<u32>, Vec<u32>, WorkMeter, usize, u32);
+    let outcomes: Vec<ThreadOutcome> = run_threads(p, |t| {
+        let shard = metrics.shard(t);
+        let ids = &bins[t]; // sorted → lexicographic subset
+        let mut local_set = CandidateSet::new(k);
+        for &id in ids {
+            local_set.push(cands.get(id as u32));
+        }
+        let mut meter = WorkMeter::default();
+        if local_set.is_empty() {
+            return (Vec::new(), Vec::new(), meter, 0, 0);
+        }
+        // Local trees are private, so lock telemetry here records the
+        // uncontended baseline PCCD trades CCPD's shared tree for.
+        let builder = TreeBuilder::new(&local_set, hash, cfg.base.leaf_threshold);
+        builder.insert_all_tallied(shard);
+        let tree = freeze_policy(&builder, cfg.base.placement);
+        shard.add(Counter::TreeBytes, tree.total_bytes() as u64);
+        shard.add(Counter::TreeNodes, tree.n_nodes() as u64);
+        // Each worker trims against its *own* candidate subset — a
+        // tighter (still lossless) filter than the global one.
+        let filter = cfg
+            .base
+            .trim_transactions
+            .then(|| ItemFilter::from_candidates(&local_set, db.n_items()));
+        let filter = filter.as_ref();
+        let mut pooled;
+        let mut fresh;
+        let scratch: &mut CountScratch = match scratch_pool {
+            Some(pool) => {
+                shard.incr(Counter::ScratchRetargets);
+                pooled = pool.slot(t);
+                pooled.retarget(tree.n_nodes());
+                &mut pooled
+            }
+            None => {
+                shard.incr(Counter::ScratchAllocs);
+                fresh = CountScratch::new(db.n_items(), tree.n_nodes());
+                &mut fresh
+            }
+        };
+        let local_counts: Vec<u32> = if tree.counters_inline() {
+            let mut cref = CounterRef::Inline;
+            tree.count_partition(
+                hash,
+                db,
+                0..db.len(),
+                filter,
+                scratch,
+                &mut cref,
+                opts,
+                &mut meter,
+            );
+            tree.inline_counts()
+        } else {
+            let mut local = LocalCounters::new(local_set.len());
+            {
+                let mut cref = CounterRef::Local(&mut local);
+                tree.count_partition(
+                    hash,
+                    db,
+                    0..db.len(),
+                    filter,
+                    scratch,
+                    &mut cref,
+                    opts,
+                    &mut meter,
+                );
+            }
+            local.slots().to_vec()
+        };
+        shard.add(Counter::ScratchStampBytes, scratch.stamp_bytes() as u64);
+        let ids_u32: Vec<u32> = ids.iter().map(|&i| i as u32).collect();
+        (
+            ids_u32,
+            local_counts,
+            meter,
+            tree.total_bytes(),
+            tree.n_nodes(),
+        )
+    });
+    let mut bin_counts = Vec::with_capacity(p);
+    let mut meters = Vec::with_capacity(p);
+    let mut tree_bytes = 0usize;
+    let mut tree_nodes = 0u32;
+    for (ids, counts, meter, tb, tn) in outcomes {
+        bin_counts.push((ids, counts));
+        meters.push(meter);
+        tree_bytes += tb;
+        tree_nodes += tn;
+    }
+    (bin_counts, meters, tree_bytes, tree_nodes)
+}
+
+/// One bin's shared state for the dynamic count: the frozen local tree,
+/// the bin's trim filter, its global candidate ids, and (when the tree's
+/// counters are not inline) a shared atomic counter array any thread can
+/// increment.
+struct BinTree {
+    tree: AnyFrozenTree,
+    filter: Option<ItemFilter>,
+    ids: Vec<u32>,
+    shared: Option<FlatCounters>,
+}
+
+/// The dynamic formulation: tree builds stay with the bin owner (one per
+/// thread, as in the paper), but the `P` full database scans are chunked
+/// into (bin, db-chunk) units drawn from a [`ChunkPool`]. Bin `t`'s units
+/// seed thread `t`'s share, so under low skew threads mostly scan their
+/// own tree (warm cache); a thread that runs dry helps scan another bin's
+/// tree, incrementing that bin's *shared atomic* counters.
+///
+/// Counts are bit-identical to [`count_static`]: every (transaction, bin)
+/// pair is scanned exactly once and counter increments are commutative
+/// atomic adds — only their distribution over threads changes. (Placement
+/// policies whose counters live outside the tree use `FlatCounters` here
+/// instead of per-thread arrays; same totals, now steal-safe.)
+#[allow(clippy::too_many_arguments)]
+fn count_dynamic(
+    db: &Database,
+    cfg: &ParallelConfig,
+    cands: &CandidateSet,
+    hash: &arm_balance::AnyHash,
+    bins: &[Vec<usize>],
+    scratch_pool: &Option<ScratchPool>,
+    opts: CountOptions,
+    metrics: &MetricsRegistry,
+    p: usize,
+) -> (BinCounts, Vec<WorkMeter>, usize, u32) {
+    let k = cands.k();
+    // Bin `t`'s tree is built by thread `t`, exactly as in the static path.
+    let bin_trees: Vec<Option<BinTree>> = run_threads(p, |t| {
+        let shard = metrics.shard(t);
+        let ids = &bins[t];
+        let mut local_set = CandidateSet::new(k);
+        for &id in ids {
+            local_set.push(cands.get(id as u32));
+        }
+        if local_set.is_empty() {
+            return None;
+        }
+        let builder = TreeBuilder::new(&local_set, hash, cfg.base.leaf_threshold);
+        builder.insert_all_tallied(shard);
+        let tree = freeze_policy(&builder, cfg.base.placement);
+        shard.add(Counter::TreeBytes, tree.total_bytes() as u64);
+        shard.add(Counter::TreeNodes, tree.n_nodes() as u64);
+        let filter = cfg
+            .base
+            .trim_transactions
+            .then(|| ItemFilter::from_candidates(&local_set, db.n_items()));
+        let shared = (!tree.counters_inline()).then(|| FlatCounters::new(local_set.len()));
+        Some(BinTree {
+            tree,
+            filter,
+            ids: ids.iter().map(|&i| i as u32).collect(),
+            shared,
+        })
+    });
+
+    // Unit space: bin b × database chunk c, flattened as b·n_chunks + c.
+    // Chunks never cross a seed boundary, so every claimed range lies in
+    // one bin.
+    let n_chunks = db.len().min(4 * p).max(1);
+    let db_chunks = block_ranges(db.len(), n_chunks);
+    let seeds: Vec<Range<usize>> = (0..p).map(|t| t * n_chunks..(t + 1) * n_chunks).collect();
+    let pool = ChunkPool::with_floor(&seeds, cfg.scheduling, 1);
+    let meters: Vec<WorkMeter> = run_threads(p, |t| {
+        let shard = metrics.shard(t);
+        let mut meter = WorkMeter::default();
+        let mut pooled;
+        let mut fresh;
+        let scratch: &mut CountScratch = match scratch_pool {
+            Some(sp) => {
+                pooled = sp.slot(t);
+                &mut pooled
+            }
+            None => {
+                shard.incr(Counter::ScratchAllocs);
+                fresh = CountScratch::new(db.n_items(), 0);
+                &mut fresh
+            }
+        };
+        let mut cur_bin = usize::MAX;
+        while let Some(units) = pool.next(t) {
+            for u in units {
+                let (bin, chunk) = (u / n_chunks, u % n_chunks);
+                let Some(bt) = &bin_trees[bin] else { continue };
+                if bin != cur_bin {
+                    // Different tree: the stamp tables must be re-zeroed.
+                    scratch.retarget(bt.tree.n_nodes());
+                    shard.incr(Counter::ScratchRetargets);
+                    cur_bin = bin;
+                }
+                let tallied = bt.shared.as_ref().map(|s| TalliedCounters::new(s, shard));
+                let mut cref = match tallied.as_ref() {
+                    Some(tc) => CounterRef::Shared(tc),
+                    None => CounterRef::Inline,
+                };
+                bt.tree.count_partition(
+                    hash,
+                    db,
+                    db_chunks[chunk].clone(),
+                    bt.filter.as_ref(),
+                    scratch,
+                    &mut cref,
+                    opts,
+                    &mut meter,
+                );
+            }
+        }
+        shard.add(Counter::ScratchStampBytes, scratch.stamp_bytes() as u64);
+        meter
+    });
+    record_exec(metrics, &pool);
+
+    let mut bin_counts = Vec::with_capacity(p);
+    let mut tree_bytes = 0usize;
+    let mut tree_nodes = 0u32;
+    for bt in bin_trees {
+        match bt {
+            None => bin_counts.push((Vec::new(), Vec::new())),
+            Some(bt) => {
+                tree_bytes += bt.tree.total_bytes();
+                tree_nodes += bt.tree.n_nodes();
+                let counts = match &bt.shared {
+                    Some(s) => s.snapshot(),
+                    None => bt.tree.inline_counts(),
+                };
+                bin_counts.push((bt.ids, counts));
+            }
+        }
+    }
+    (bin_counts, meters, tree_bytes, tree_nodes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +492,24 @@ mod tests {
         for p in [1usize, 2, 3] {
             let (r, _) = mine(&db, &ParallelConfig::new(base_cfg(), p));
             assert_eq!(r.all_itemsets(), expected, "P={p}");
+        }
+    }
+
+    #[test]
+    fn scheduling_modes_agree_with_static() {
+        let db = paper_db();
+        let static_cfg = ParallelConfig::new(base_cfg(), 3).with_scheduling(Scheduling::Static);
+        let (oracle, _) = mine(&db, &static_cfg);
+        for mode in [
+            Scheduling::Chunked { chunk: 1 },
+            Scheduling::Guided,
+            Scheduling::Stealing,
+        ] {
+            for p in [1usize, 2, 3, 8] {
+                let cfg = ParallelConfig::new(base_cfg(), p).with_scheduling(mode);
+                let (r, _) = mine(&db, &cfg);
+                assert_eq!(r.all_itemsets(), oracle.all_itemsets(), "{mode:?} P={p}");
+            }
         }
     }
 

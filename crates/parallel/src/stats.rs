@@ -76,8 +76,11 @@ impl ParallelRunStats {
                     seq += w;
                     // A phase that recorded no work units still took `w`
                     // seconds of overhead; treat it as unshrinkable.
+                    // Parenthesized so `max == sum` contributes exactly
+                    // `w`: `(w * max) / sum` can round one ulp above `w`,
+                    // which would push the speedup below 1.0.
                     par += if sum > 0 {
-                        w * max as f64 / sum as f64
+                        w * (max as f64 / sum as f64)
                     } else {
                         w
                     };
@@ -105,8 +108,11 @@ impl ParallelRunStats {
                 Some(tw) => {
                     let sum: u64 = tw.iter().sum();
                     let max = tw.iter().copied().max().unwrap_or(0);
+                    // Parenthesized so `max == sum` contributes exactly
+                    // `w`: `(w * max) / sum` can round one ulp above `w`,
+                    // which would push the speedup below 1.0.
                     par += if sum > 0 {
-                        w * max as f64 / sum as f64
+                        w * (max as f64 / sum as f64)
                     } else {
                         w
                     };
@@ -136,8 +142,11 @@ impl ParallelRunStats {
                 Some(tw) => {
                     let sum: u64 = tw.iter().sum();
                     let max = tw.iter().copied().max().unwrap_or(0);
+                    // Parenthesized so `max == sum` contributes exactly
+                    // `w`: `(w * max) / sum` can round one ulp above `w`,
+                    // which would push the speedup below 1.0.
                     par += if sum > 0 {
-                        w * max as f64 / sum as f64
+                        w * (max as f64 / sum as f64)
                     } else {
                         w
                     };
@@ -245,6 +254,75 @@ mod tests {
         let s = stats(vec![ph("count", 0, Some(vec![0, 0]))]);
         assert_eq!(s.simulated_speedup(), 1.0);
         assert_eq!(s.phases[0].imbalance(), 1.0);
+    }
+
+    #[test]
+    fn max_imbalance_missing_phase_is_one() {
+        // No phase with that name ever ran: the fold over an empty
+        // iterator must land on the neutral 1.0, not 0 or NaN.
+        let s = stats(vec![ph("count", 10, Some(vec![90, 10]))]);
+        assert_eq!(s.max_imbalance("build"), 1.0);
+        assert_eq!(s.max_imbalance(""), 1.0);
+        let empty = stats(Vec::new());
+        assert_eq!(empty.max_imbalance("count"), 1.0);
+    }
+
+    #[test]
+    fn max_imbalance_single_thread_is_one() {
+        // One thread is trivially balanced (max == mean), across any
+        // number of iterations of the phase.
+        let s = stats(vec![
+            ph("count", 10, Some(vec![40])),
+            ph("count", 10, Some(vec![7])),
+        ]);
+        assert_eq!(s.max_imbalance("count"), 1.0);
+        // Serial phases (no thread work) report 1.0 too.
+        let serial = stats(vec![ph("count", 10, None)]);
+        assert_eq!(serial.max_imbalance("count"), 1.0);
+    }
+
+    #[test]
+    fn max_imbalance_takes_worst_iteration() {
+        let s = stats(vec![
+            ph("count", 10, Some(vec![50, 50])),
+            ph("count", 10, Some(vec![90, 10])),
+            ph("count", 10, Some(vec![60, 40])),
+        ]);
+        assert!((s.max_imbalance("count") - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_of_heaviest_missing_phase_is_one() {
+        let s = stats(vec![ph("count", 10, Some(vec![90, 10]))]);
+        assert_eq!(s.imbalance_of_heaviest("build"), 1.0);
+        let empty = stats(Vec::new());
+        assert_eq!(empty.imbalance_of_heaviest("count"), 1.0);
+    }
+
+    #[test]
+    fn imbalance_of_heaviest_single_thread_is_one() {
+        let s = stats(vec![ph("count", 10, Some(vec![123]))]);
+        assert_eq!(s.imbalance_of_heaviest("count"), 1.0);
+    }
+
+    #[test]
+    fn imbalance_of_heaviest_picks_largest_total_work() {
+        // The skewed iteration is light (total 10); the heavy iteration
+        // (total 100) is balanced. The representative figure follows the
+        // heavy one, unlike max_imbalance.
+        let s = stats(vec![
+            ph("count", 10, Some(vec![9, 1])),
+            ph("count", 10, Some(vec![50, 50])),
+        ]);
+        assert_eq!(s.imbalance_of_heaviest("count"), 1.0);
+        assert!((s.max_imbalance("count") - 1.8).abs() < 1e-9);
+        // Serial iterations count as zero total work, so a parallel
+        // iteration always outranks them.
+        let s2 = stats(vec![
+            ph("count", 10, None),
+            ph("count", 10, Some(vec![30, 10])),
+        ]);
+        assert!((s2.imbalance_of_heaviest("count") - 1.5).abs() < 1e-9);
     }
 
     #[test]

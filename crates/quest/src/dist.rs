@@ -31,6 +31,25 @@ pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
     -(1.0 - u).ln() * mean
 }
 
+/// Samples a Zipf-distributed rank on `[1, max]`: `P(k) ∝ k^-exponent`,
+/// by inverse transform over the finite support. Used for the skewed
+/// transaction-length mode, where the rank multiplies a base length —
+/// small means are amortized by callers caching nothing here because
+/// `max` stays tiny (≤ a few dozen).
+pub fn zipf<R: Rng + ?Sized>(rng: &mut R, exponent: f64, max: u32) -> u32 {
+    assert!(max >= 1, "zipf needs non-empty support");
+    assert!(exponent > 0.0, "zipf exponent must be positive");
+    let total: f64 = (1..=max).map(|k| (k as f64).powf(-exponent)).sum();
+    let mut u = rng.gen::<f64>() * total;
+    for k in 1..max {
+        u -= (k as f64).powf(-exponent);
+        if u < 0.0 {
+            return k;
+        }
+    }
+    max
+}
+
 /// Samples `Normal(mean, sd)` via Box–Muller.
 pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
     assert!(sd >= 0.0);
@@ -84,6 +103,31 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
         assert!((var.sqrt() - 0.3).abs() < 0.01, "sd={}", var.sqrt());
+    }
+
+    #[test]
+    fn zipf_is_monotone_and_in_range() {
+        let mut r = rng();
+        let max = 16;
+        let mut hist = vec![0u32; max as usize + 1];
+        for _ in 0..40_000 {
+            let k = zipf(&mut r, 1.6, max);
+            assert!((1..=max).contains(&k));
+            hist[k as usize] += 1;
+        }
+        // Rank 1 dominates and frequencies decay (compare rank 1 vs 4 vs 16
+        // rather than adjacent ranks, which sampling noise could flip).
+        assert!(hist[1] > hist[4] && hist[4] > hist[16]);
+        // Mass of rank 1 ≈ 1 / H_{1.6}(16).
+        let h: f64 = (1..=max).map(|k| (k as f64).powf(-1.6)).sum();
+        let p1 = hist[1] as f64 / 40_000.0;
+        assert!((p1 - 1.0 / h).abs() < 0.02, "p1={p1} expected {}", 1.0 / h);
+    }
+
+    #[test]
+    fn zipf_degenerate_support_is_constant() {
+        let mut r = rng();
+        assert!((0..100).all(|_| zipf(&mut r, 2.0, 1) == 1));
     }
 
     #[test]

@@ -23,6 +23,28 @@ use arm_dataset::{Database, DatabaseBuilder, Item};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// How target transaction lengths are drawn in step 2.
+///
+/// The paper's Table 2 datasets all use [`LengthDist::Poisson`] (the AS'94
+/// procedure). [`LengthDist::ZipfTail`] layers a Zipf-distributed length
+/// multiplier on top, producing the long-tailed ("a few giant baskets")
+/// databases used to stress dynamic scheduling: a static equal-transaction
+/// split then assigns some threads several-fold more counting work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthDist {
+    /// AS'94 default: `Poisson(T)`, clamped to at least 1.
+    Poisson,
+    /// `Poisson(T).max(1) * m` with `m ~ Zipf(exponent)` on
+    /// `[1, max_factor]`. Most transactions keep `m = 1` (probability
+    /// `1/H_s(max_factor)`), a heavy tail grows up to `max_factor`×.
+    ZipfTail {
+        /// Zipf exponent `s` (larger ⇒ thinner tail; 1.5–2 is typical).
+        exponent: f64,
+        /// Largest length multiplier in the support.
+        max_factor: u32,
+    },
+}
+
 /// Parameters of a synthetic dataset (`T{T}.I{I}.D{D}` in paper naming).
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuestParams {
@@ -44,6 +66,8 @@ pub struct QuestParams {
     pub corruption_sd: f64,
     /// RNG seed (generation is fully deterministic given the params).
     pub seed: u64,
+    /// Transaction-length distribution (paper datasets: `Poisson`).
+    pub length_dist: LengthDist,
 }
 
 impl QuestParams {
@@ -60,6 +84,7 @@ impl QuestParams {
             corruption_mean: 0.5,
             corruption_sd: 0.1f64.sqrt(),
             seed: 0x5EED_0000 | ((t as u64) << 8) | i as u64,
+            length_dist: LengthDist::Poisson,
         }
     }
 
@@ -82,6 +107,12 @@ impl QuestParams {
     /// Overrides the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the transaction-length distribution.
+    pub fn with_length_dist(mut self, dist: LengthDist) -> Self {
+        self.length_dist = dist;
         self
     }
 }
@@ -169,7 +200,14 @@ pub fn generate(params: &QuestParams) -> Database {
     let mut deferred: Option<Vec<Item>> = None;
     let mut txn: Vec<Item> = Vec::new();
     for _ in 0..params.n_txns {
-        let target = dist::poisson(&mut rng, params.avg_txn_len).max(1) as usize;
+        let base = dist::poisson(&mut rng, params.avg_txn_len).max(1) as usize;
+        let target = match params.length_dist {
+            LengthDist::Poisson => base,
+            LengthDist::ZipfTail {
+                exponent,
+                max_factor,
+            } => base * dist::zipf(&mut rng, exponent, max_factor) as usize,
+        };
         txn.clear();
         // A pattern deferred from the previous transaction goes in first.
         if let Some(items) = deferred.take() {

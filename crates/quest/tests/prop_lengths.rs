@@ -1,0 +1,115 @@
+//! Property tests for the skewed transaction-length mode: the Zipf rank
+//! sampler honors its configured support and mass, and `LengthDist::ZipfTail`
+//! databases actually grow the long tail that the scheduling benchmarks
+//! rely on.
+
+use arm_quest::dist::zipf;
+use arm_quest::{generate, LengthDist, QuestParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn harmonic(exponent: f64, max: u32) -> f64 {
+    (1..=max).map(|k| (k as f64).powf(-exponent)).sum()
+}
+
+proptest! {
+    /// Every sample lands in `[1, max_factor]`, whatever the parameters.
+    #[test]
+    fn zipf_stays_in_support(
+        seed in any::<u64>(),
+        exponent in 0.5f64..3.0,
+        max in 1u32..64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..256 {
+            let k = zipf(&mut rng, exponent, max);
+            prop_assert!((1..=max).contains(&k), "k={k} out of [1, {max}]");
+        }
+    }
+
+    /// The sampler honors the configured tail: rank 1 carries mass
+    /// `1/H_s(max)` and the empirical mean matches the analytic mean, so
+    /// the distribution is neither uniform nor degenerate.
+    #[test]
+    fn zipf_honors_configured_mass(
+        seed in any::<u64>(),
+        exponent in 1.2f64..2.2,
+        max in 4u32..32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 20_000u32;
+        let mut ones = 0u32;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let k = zipf(&mut rng, exponent, max);
+            sum += k as u64;
+            ones += (k == 1) as u32;
+        }
+        let h = harmonic(exponent, max);
+        let p1 = ones as f64 / n as f64;
+        prop_assert!(
+            (p1 - 1.0 / h).abs() < 0.03,
+            "P(1)={p1:.4}, expected {:.4}", 1.0 / h
+        );
+        let mean = sum as f64 / n as f64;
+        let expected: f64 =
+            (1..=max).map(|k| k as f64 * (k as f64).powf(-exponent)).sum::<f64>() / h;
+        prop_assert!(
+            (mean - expected).abs() < 0.15 * expected + 0.05,
+            "mean={mean:.3}, expected {expected:.3}"
+        );
+    }
+
+    /// A ZipfTail database keeps the same item universe and determinism
+    /// guarantees as the Poisson one.
+    #[test]
+    fn skewed_generation_is_deterministic_and_well_formed(seed in any::<u64>()) {
+        let params = QuestParams::paper(10, 4, 300)
+            .with_seed(seed)
+            .with_length_dist(LengthDist::ZipfTail { exponent: 1.6, max_factor: 8 });
+        let a = generate(&params);
+        let b = generate(&params);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), 300);
+        for t in &a {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}
+
+fn max_len(db: &arm_dataset::Database) -> usize {
+    db.into_iter().map(|t| t.len()).max().unwrap_or(0)
+}
+
+/// The headline property: with a Zipf tail the longest transactions dwarf
+/// the mean in a way Poisson lengths never do. Checked over several seeds
+/// so it reflects the distribution, not one lucky draw.
+#[test]
+fn zipf_tail_produces_long_tail() {
+    for seed in [3u64, 17, 99] {
+        let uniform = generate(&QuestParams::paper(10, 4, 800).with_seed(seed));
+        let skewed = generate(
+            &QuestParams::paper(10, 4, 800)
+                .with_seed(seed)
+                .with_length_dist(LengthDist::ZipfTail {
+                    exponent: 1.6,
+                    max_factor: 16,
+                }),
+        );
+        let (u_max, u_avg) = (max_len(&uniform) as f64, uniform.avg_len());
+        let (s_max, s_avg) = (max_len(&skewed) as f64, skewed.avg_len());
+        // The tail raises the mean somewhat and the max a lot.
+        assert!(
+            s_avg > u_avg,
+            "seed {seed}: skewed mean {s_avg} <= uniform {u_avg}"
+        );
+        assert!(
+            s_max / s_avg > 2.0 * (u_max / u_avg),
+            "seed {seed}: skew ratio {:.2} not ≫ uniform ratio {:.2}",
+            s_max / s_avg,
+            u_max / u_avg
+        );
+    }
+}

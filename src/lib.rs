@@ -12,6 +12,7 @@
 //! | [`dataset`] | transaction databases (CSR layout), partitioning, IO, stats |
 //! | [`quest`] | the IBM Quest synthetic basket-data generator |
 //! | [`mem`] | placement substrate: word regions, counter schemes, concurrent arena |
+//! | [`exec`] | chunked / guided / work-stealing scheduling over index ranges |
 //! | [`balance`] | block/interleaved/bitonic partitioning, balanced hash functions |
 //! | [`hashtree`] | the candidate hash tree: concurrent build, placement freeze, counting |
 //! | [`core`] | sequential Apriori, candidate generation, rule generation |
@@ -45,6 +46,7 @@ pub mod cli;
 pub use arm_balance as balance;
 pub use arm_core as core;
 pub use arm_dataset as dataset;
+pub use arm_exec as exec;
 pub use arm_hashtree as hashtree;
 pub use arm_mem as mem;
 pub use arm_metrics as metrics;
@@ -60,6 +62,6 @@ pub mod prelude {
     pub use arm_dataset::{Database, DatabaseBuilder, DatasetStats};
     pub use arm_hashtree::PlacementPolicy;
     pub use arm_metrics::{MetricsRegistry, MetricsSnapshot, RunReport};
-    pub use arm_parallel::{ccpd, pccd, run_report, ParallelConfig, ParallelRunStats};
+    pub use arm_parallel::{ccpd, pccd, run_report, ParallelConfig, ParallelRunStats, Scheduling};
     pub use arm_quest::{generate, QuestParams};
 }

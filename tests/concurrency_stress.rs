@@ -192,3 +192,71 @@ fn randomized_inline_count_is_bit_identical_to_sequential() {
         assert_eq!(tree.inline_counts(), fx.expected, "round {round}");
     }
 }
+
+#[test]
+fn stealing_pool_shared_count_is_bit_identical_to_sequential() {
+    // Same invariant under the work-stealing executor, seeded as
+    // lopsidedly as possible: thread 0 owns the whole database and the
+    // other 7 start empty, so every chunk they execute was stolen.
+    use parallel_arm::exec::{ChunkPool, Scheduling};
+
+    let fx = fixture();
+    let total_hits: u64 = fx.expected.iter().map(|&c| c as u64).sum();
+    for round in 0..ROUNDS {
+        let builder = TreeBuilder::new(&fx.cands, &fx.hash, 4);
+        for id in 0..fx.cands.len() {
+            builder.insert(id as u32);
+        }
+        let tree = freeze_policy(&builder, PlacementPolicy::LGpp);
+
+        let metrics = MetricsRegistry::new(THREADS);
+        let shared = FlatCounters::new(fx.cands.len());
+        let mut seeds: Vec<Range<usize>> = (1..THREADS).map(|_| fx.db.len()..fx.db.len()).collect();
+        seeds.insert(0, 0..fx.db.len());
+        let pool = ChunkPool::with_floor(&seeds, Scheduling::Stealing, 4);
+        thread::scope(|s| {
+            for t in 0..THREADS {
+                let tree = &tree;
+                let shared = &shared;
+                let metrics = &metrics;
+                let pool = &pool;
+                let fx = &fx;
+                s.spawn(move || {
+                    let shard = metrics.shard(t);
+                    let mut scratch = CountScratch::new(fx.db.n_items(), tree.n_nodes());
+                    let tallied = TalliedCounters::new(shared, shard);
+                    let mut cref = CounterRef::Shared(&tallied);
+                    let mut meter = WorkMeter::default();
+                    while let Some(range) = pool.next(t) {
+                        tree.count_partition(
+                            &fx.hash,
+                            &fx.db,
+                            range,
+                            None::<&ItemFilter>,
+                            &mut scratch,
+                            &mut cref,
+                            CountOptions::default(),
+                            &mut meter,
+                        );
+                    }
+                });
+            }
+        });
+
+        assert_eq!(shared.snapshot(), fx.expected, "round {round}");
+        let mut items = 0u64;
+        for t in 0..THREADS {
+            let s = pool.thread_stats(t);
+            items += s.items;
+            // Non-owners hold empty deques: every chunk they ran was
+            // lifted off another thread's deque.
+            if t != 0 {
+                assert_eq!(s.stolen, s.chunks, "thread {t} round {round}");
+            }
+        }
+        assert_eq!(items, fx.db.len() as u64, "exactly-once round {round}");
+        if MetricsRegistry::enabled() {
+            assert_eq!(metrics.snapshot().total(Counter::CtrIncrements), total_hits);
+        }
+    }
+}
