@@ -147,7 +147,13 @@ pub fn mine_with(
         join_pairs: 0,
         meter: WorkMeter::default(),
     }];
-    let mut levels = vec![f1];
+    // `max_k = Some(0)` admits no level at all (uniform semantics across
+    // the workspace's miners); the k-loop below never runs since k > 0.
+    let mut levels = if config.max_k == Some(0) {
+        Vec::new()
+    } else {
+        vec![f1]
+    };
 
     let opts = CountOptions {
         short_circuit: config.short_circuit,

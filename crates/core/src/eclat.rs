@@ -24,6 +24,11 @@ struct Member {
 /// Output is ordered by itemset length, then lexicographically, matching
 /// [`crate::apriori::MiningResult::all_itemsets`].
 pub fn mine_eclat(db: &Database, min_support: u32, max_k: Option<u32>) -> Vec<(Vec<Item>, u32)> {
+    // `max_k = Some(0)` allows no itemset of any length — uniform across
+    // every miner in the workspace (see the max_k edge-case suite).
+    if max_k == Some(0) {
+        return Vec::new();
+    }
     let min_support = min_support.max(1);
     // Vertical representation of the frequent items.
     let mut tidlists: Vec<Vec<Tid>> = vec![Vec::new(); db.n_items() as usize];
@@ -47,7 +52,7 @@ pub fn mine_eclat(db: &Database, min_support: u32, max_k: Option<u32>) -> Vec<(V
         out.push((vec![m.item], m.tids.len() as u32));
     }
     let mut prefix = Vec::new();
-    if max_k != Some(1) && max_k != Some(0) {
+    if max_k != Some(1) {
         extend(&root, &mut prefix, min_support, max_k, &mut out);
     }
     // DFS emits prefix order; canonicalize to length-then-lex.

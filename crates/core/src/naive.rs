@@ -20,6 +20,10 @@ pub fn mine_levelwise(
     min_support: u32,
     max_k: Option<u32>,
 ) -> Vec<(Vec<Item>, u32)> {
+    // Uniform `max_k` semantics: a cap of 0 allows nothing.
+    if max_k == Some(0) {
+        return Vec::new();
+    }
     let mut out = Vec::new();
     let mut level = frequent_singletons(db, min_support);
     let mut k = 1u32;

@@ -45,6 +45,6 @@ pub use registry::{
 };
 pub use report::{
     reports_from_json, reports_to_json, IterReport, LockReport, MemReport, PhaseReport, RunReport,
-    SchedReport, ThreadReport, PHASE_CSV_HEADER, SCHEMA, SUMMARY_CSV_HEADER,
+    SchedReport, ThreadReport, VerticalReport, PHASE_CSV_HEADER, SCHEMA, SUMMARY_CSV_HEADER,
 };
 pub use tally::TalliedCounters;

@@ -47,10 +47,16 @@ pub enum Counter {
     StealAttempts = 12,
     /// Failed CAS iterations on the shared scheduling cursor.
     CursorCasRetries = 13,
+    /// Tidset intersections performed by the vertical miner (arm-vertical).
+    TidsetIntersections = 14,
+    /// `u64` words ANDed by the bitmap intersection kernel.
+    TidsetWordsAnded = 15,
+    /// Bytes of tidset storage materialized (lists and bitmaps).
+    TidsetBytes = 16,
 }
 
 /// Number of distinct counters (shard slot count).
-pub const N_COUNTERS: usize = 14;
+pub const N_COUNTERS: usize = 17;
 
 impl Counter {
     /// Every counter, in slot order.
@@ -69,6 +75,9 @@ impl Counter {
         Counter::ChunksStolen,
         Counter::StealAttempts,
         Counter::CursorCasRetries,
+        Counter::TidsetIntersections,
+        Counter::TidsetWordsAnded,
+        Counter::TidsetBytes,
     ];
 
     /// The report field name.
@@ -88,6 +97,9 @@ impl Counter {
             Counter::ChunksStolen => "chunks_stolen",
             Counter::StealAttempts => "steal_attempts",
             Counter::CursorCasRetries => "cursor_cas_retries",
+            Counter::TidsetIntersections => "tidset_intersections",
+            Counter::TidsetWordsAnded => "tidset_words_anded",
+            Counter::TidsetBytes => "tidset_bytes",
         }
     }
 }

@@ -95,6 +95,17 @@ pub struct SchedReport {
     pub cursor_cas_retries: u64,
 }
 
+/// Vertical-mining totals across threads (arm-vertical tidset kernels).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerticalReport {
+    /// Tidset intersections performed.
+    pub intersections: u64,
+    /// `u64` words ANDed by the bitmap kernel.
+    pub words_anded: u64,
+    /// Bytes of tidset storage materialized (lists and bitmaps).
+    pub tidset_bytes: u64,
+}
+
 /// Allocator/scratch/tree memory totals.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MemReport {
@@ -152,6 +163,8 @@ pub struct RunReport {
     pub locks: LockReport,
     /// Scheduling totals.
     pub sched: SchedReport,
+    /// Vertical-mining kernel totals.
+    pub vertical: VerticalReport,
     /// Memory totals.
     pub mem: MemReport,
     /// Per-iteration tree/candidate profile.
@@ -229,6 +242,11 @@ impl RunReport {
             steal_attempts: snap.total(Counter::StealAttempts),
             cursor_cas_retries: snap.total(Counter::CursorCasRetries),
         };
+        self.vertical = VerticalReport {
+            intersections: snap.total(Counter::TidsetIntersections),
+            words_anded: snap.total(Counter::TidsetWordsAnded),
+            tidset_bytes: snap.total(Counter::TidsetBytes),
+        };
         self.mem = MemReport {
             tree_bytes: snap.total(Counter::TreeBytes),
             tree_nodes: snap.total(Counter::TreeNodes),
@@ -283,6 +301,14 @@ impl RunReport {
                         "cursor_cas_retries".into(),
                         int(self.sched.cursor_cas_retries),
                     ),
+                ]),
+            ),
+            (
+                "vertical".into(),
+                Json::Obj(vec![
+                    ("intersections".into(), int(self.vertical.intersections)),
+                    ("words_anded".into(), int(self.vertical.words_anded)),
+                    ("tidset_bytes".into(), int(self.vertical.tidset_bytes)),
                 ]),
             ),
             (
@@ -373,6 +399,14 @@ impl RunReport {
                 chunks_stolen: u64_field_or(s, "chunks_stolen", 0)?,
                 steal_attempts: u64_field_or(s, "steal_attempts", 0)?,
                 cursor_cas_retries: u64_field_or(s, "cursor_cas_retries", 0)?,
+            };
+        }
+        // "vertical" postdates "sched": absent reads as zeros too.
+        if let Some(s) = v.get("vertical") {
+            r.vertical = VerticalReport {
+                intersections: u64_field_or(s, "intersections", 0)?,
+                words_anded: u64_field_or(s, "words_anded", 0)?,
+                tidset_bytes: u64_field_or(s, "tidset_bytes", 0)?,
             };
         }
         let m = v.get("mem").ok_or("missing mem")?;
@@ -611,6 +645,11 @@ mod tests {
             steal_attempts: 6,
             cursor_cas_retries: 1,
         };
+        r.vertical = VerticalReport {
+            intersections: 17,
+            words_anded: 340,
+            tidset_bytes: 2048,
+        };
         r.mem.tree_bytes = 4096;
         r.iters = vec![IterReport {
             k: 2,
@@ -727,6 +766,25 @@ mod tests {
         let text = strip(old.to_value()).pretty();
         assert!(!text.contains("chunks_executed") && !text.contains("sched"));
         let back = RunReport::from_json(&text).expect("old report must parse");
+        assert_eq!(back, old);
+    }
+
+    #[test]
+    fn parses_reports_predating_vertical_section() {
+        // Reports written before the vertical-mining subsystem have no
+        // "vertical" section; it must read back as all-zero totals.
+        let mut old = sample();
+        old.vertical = VerticalReport::default();
+        let stripped: Vec<(String, Json)> = match old.to_value() {
+            Json::Obj(fields) => fields
+                .into_iter()
+                .filter(|(k, _)| k != "vertical")
+                .collect(),
+            _ => unreachable!(),
+        };
+        let text = Json::Obj(stripped).pretty();
+        assert!(!text.contains("vertical"));
+        let back = RunReport::from_json(&text).expect("pre-vertical report must parse");
         assert_eq!(back, old);
     }
 

@@ -5,7 +5,7 @@
 
 use arm_metrics::{
     json::parse, reports_from_json, reports_to_json, IterReport, Json, LockReport, MemReport,
-    PhaseReport, RunReport, SchedReport, ThreadReport,
+    PhaseReport, RunReport, SchedReport, ThreadReport, VerticalReport,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -57,7 +57,7 @@ proptest! {
         floats in vec(0.0f64..1.0e9, 3),
         phases in vec((0usize..NAMES.len(), 1u32..16, vec(0u64..MAX_INT, 0..5)), 0..6),
         threads in vec(vec(0u64..MAX_INT, 15), 0..5),
-        lock_mem in vec(0u64..MAX_INT, 14),
+        lock_mem in vec(0u64..MAX_INT, 17),
         iters in vec((1u32..16, vec(0u64..MAX_INT, 4)), 0..6),
         phase_floats in vec(0.0f64..1.0e6, 12),
     ) {
@@ -116,6 +116,11 @@ proptest! {
                 chunks_stolen: lock_mem[11],
                 steal_attempts: lock_mem[12],
                 cursor_cas_retries: lock_mem[13],
+            },
+            vertical: VerticalReport {
+                intersections: lock_mem[14],
+                words_anded: lock_mem[15],
+                tidset_bytes: lock_mem[16],
             },
             mem: MemReport {
                 tree_bytes: lock_mem[5],

@@ -110,7 +110,13 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         join_pairs: 0,
         meter: WorkMeter::default(),
     }];
-    let mut levels = vec![f1];
+    // Uniform `max_k` semantics: a cap of 0 admits no level at all (the
+    // k-loop below then breaks immediately on `k > m`).
+    let mut levels = if cfg.base.max_k == Some(0) {
+        Vec::new()
+    } else {
+        vec![f1]
+    };
 
     // ---- Iterations k >= 2 ----------------------------------------------
     let mut k = 2u32;
@@ -406,8 +412,9 @@ fn generate_member(
 }
 
 /// Folds a drained [`ChunkPool`]'s per-thread scheduling telemetry into
-/// the matching metrics shards.
-pub(crate) fn record_exec(metrics: &MetricsRegistry, pool: &ChunkPool) {
+/// the matching metrics shards. Shared by every pool-driven phase in the
+/// workspace (CCPD/PCCD here, the vertical miner in `arm-vertical`).
+pub fn record_exec(metrics: &MetricsRegistry, pool: &ChunkPool) {
     for t in 0..pool.n_threads() {
         let s = pool.thread_stats(t);
         let shard = metrics.shard(t);
@@ -420,7 +427,7 @@ pub(crate) fn record_exec(metrics: &MetricsRegistry, pool: &ChunkPool) {
 
 /// Spawns `p` scoped threads running `f(thread_id)` and collects results
 /// in thread order. With `p == 1` the closure runs on the caller's thread.
-pub(crate) fn run_threads<R: Send>(p: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+pub fn run_threads<R: Send>(p: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
     if p == 1 {
         return vec![f(0)];
     }

@@ -58,7 +58,13 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         join_pairs: 0,
         meter: WorkMeter::default(),
     }];
-    let mut levels = vec![f1];
+    // Uniform `max_k` semantics: a cap of 0 admits no level at all (the
+    // k-loop below then breaks immediately on `k > m`).
+    let mut levels = if cfg.base.max_k == Some(0) {
+        Vec::new()
+    } else {
+        vec![f1]
+    };
 
     let mut k = 2u32;
     loop {

@@ -1,0 +1,323 @@
+//! Parallel Eclat: first-level prefix equivalence classes scheduled as
+//! weighted tasks on the `arm-exec` chunk pool.
+//!
+//! A task is one root-class member's entire DFS subtree
+//! ([`crate::driver::extend_one`]), so tasks touch disjoint outputs and
+//! need no locks. Threads append `(class_index, itemsets)` buffers;
+//! the merge sorts by class index and applies the final length-then-lex
+//! canonical order, which makes the result bit-identical to the
+//! sequential [`crate::mine_vertical`] (and [`arm_core::mine_eclat`])
+//! under *any* schedule — itemset order never depends on which thread
+//! ran which class.
+//!
+//! Class weights for the initial split are the suffix sums of member
+//! supports: member `i` joins with every later member, so the tidset
+//! lengths it touches are `Σ_{j ≥ i} |tids_j|`. Dynamic modes (guided,
+//! stealing) re-balance mis-estimates at run time.
+
+use crate::config::VerticalConfig;
+use crate::driver::{build_root, convert_members, extend_one, n_words_for, transpose, ClassBuf};
+use crate::tidset::KernelStats;
+use arm_dataset::{Database, Item};
+use arm_exec::ChunkPool;
+use arm_hashtree::WorkMeter;
+use arm_metrics::{Counter, MetricsRegistry};
+use arm_parallel::{record_exec, run_threads, ParallelRunStats};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Greedy contiguous split of class indices into `p` ranges of roughly
+/// equal total weight — the pool's seed ranges. Exported for tests that
+/// need to reproduce (or deliberately skew) the driver's split.
+pub fn class_seeds(weights: &[u64], p: usize) -> Vec<Range<usize>> {
+    let p = p.max(1);
+    let n = weights.len();
+    let total: u64 = weights.iter().sum();
+    let target = (total as f64 / p as f64).max(1.0);
+    let mut out = Vec::with_capacity(p);
+    let mut start = 0usize;
+    let mut acc: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        let remaining = p - out.len();
+        if remaining > 1 && acc as f64 >= target && n - (i + 1) >= remaining - 1 {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    out.push(start..n);
+    while out.len() < p {
+        out.push(n..n);
+    }
+    out
+}
+
+/// Parallel Eclat over `n_threads` workers. Returns the frequent
+/// itemsets in canonical length-then-lex order (bit-identical to
+/// [`crate::mine_vertical`]) and the run's phase/telemetry stats.
+pub fn mine_eclat_parallel(
+    db: &Database,
+    min_support: u32,
+    max_k: Option<u32>,
+    cfg: &VerticalConfig,
+    n_threads: usize,
+) -> (Vec<(Vec<Item>, u32)>, ParallelRunStats) {
+    mine_parallel_impl(db, min_support, max_k, cfg, n_threads, None)
+}
+
+/// [`mine_eclat_parallel`] with caller-provided seed ranges over the
+/// root-class index space, replacing the weight-based split. The ranges
+/// must tile `0..n_root_classes` (every first-level class exactly once);
+/// the stress suite uses this to feed the pool adversarial splits.
+pub fn mine_eclat_parallel_seeded(
+    db: &Database,
+    min_support: u32,
+    max_k: Option<u32>,
+    cfg: &VerticalConfig,
+    n_threads: usize,
+    seeds: &[Range<usize>],
+) -> (Vec<(Vec<Item>, u32)>, ParallelRunStats) {
+    mine_parallel_impl(db, min_support, max_k, cfg, n_threads, Some(seeds))
+}
+
+/// Folds one task-local [`KernelStats`] into thread `t`'s metrics shard.
+pub(crate) fn fold_kernel_stats(metrics: &MetricsRegistry, t: usize, s: &KernelStats) {
+    let shard = metrics.shard(t);
+    shard.add(Counter::TidsetIntersections, s.intersections);
+    shard.add(Counter::TidsetWordsAnded, s.words_anded);
+    shard.add(Counter::TidsetBytes, s.tidset_bytes);
+}
+
+fn mine_parallel_impl(
+    db: &Database,
+    min_support: u32,
+    max_k: Option<u32>,
+    cfg: &VerticalConfig,
+    n_threads: usize,
+    seeds: Option<&[Range<usize>]>,
+) -> (Vec<(Vec<Item>, u32)>, ParallelRunStats) {
+    let run_start = Instant::now();
+    let p = n_threads.max(1);
+    let metrics = MetricsRegistry::new(p);
+    let mut out: Vec<(Vec<Item>, u32)> = Vec::new();
+    if max_k != Some(0) {
+        let min_support = min_support.max(1);
+
+        let span = metrics.phase("transpose", 1);
+        let (tidlists, transpose_work) = transpose(db, p);
+        span.finish(transpose_work);
+
+        // Root class, weights, and the class-level backend choice are
+        // cheap and serial (one pass over the frequent singletons).
+        let span = metrics.phase("classes", 1);
+        let mut root_stats = KernelStats::default();
+        let mut root = build_root(tidlists, min_support, &mut root_stats);
+        for m in &root {
+            out.push((vec![m.item], m.tids.support()));
+        }
+        let run_deep = max_k != Some(1) && !root.is_empty();
+        let mut weights: Vec<u64> = Vec::new();
+        if run_deep {
+            let total: u64 = root.iter().map(|m| m.tids.support() as u64).sum();
+            let target = cfg.choose(total, root.len(), db.len());
+            convert_members(&mut root, target, n_words_for(db.len()), &mut root_stats);
+            // Suffix sums: class i's DFS joins member i with every later
+            // member, so its first-level cost tracks Σ_{j ≥ i} support_j.
+            weights = vec![0u64; root.len()];
+            let mut suffix = 0u64;
+            for i in (0..root.len()).rev() {
+                suffix += root[i].tids.support() as u64;
+                weights[i] = suffix;
+            }
+        }
+        span.finish_serial();
+        fold_kernel_stats(&metrics, 0, &root_stats);
+
+        if run_deep {
+            let owned_seeds;
+            let seed_ranges: &[Range<usize>] = match seeds {
+                Some(s) => s,
+                None => {
+                    owned_seeds = class_seeds(&weights, p);
+                    &owned_seeds
+                }
+            };
+            let mut covered = 0usize;
+            for r in seed_ranges {
+                assert!(r.end <= root.len(), "seed range {r:?} out of bounds");
+                covered += r.len();
+            }
+            assert_eq!(
+                covered,
+                root.len(),
+                "seed ranges must tile every first-level class exactly once"
+            );
+            // Floor 1: a class is already a coarse task, so chunks must
+            // be allowed to shrink to single classes for stealing to
+            // help on skewed weight distributions.
+            let pool = ChunkPool::with_floor(seed_ranges, cfg.scheduling, 1);
+            let span = metrics.phase("mine", 1);
+            let root_ref = &root;
+            let results: Vec<(KernelStats, Vec<ClassBuf>)> = run_threads(p, |t| {
+                let mut stats = KernelStats::default();
+                let mut bufs = Vec::new();
+                while let Some(range) = pool.next(t) {
+                    for ci in range {
+                        let mut class_out = Vec::new();
+                        let mut prefix = Vec::new();
+                        extend_one(
+                            root_ref,
+                            ci,
+                            &mut prefix,
+                            min_support,
+                            max_k,
+                            cfg,
+                            db.len(),
+                            &mut stats,
+                            &mut class_out,
+                        );
+                        bufs.push((ci, class_out));
+                    }
+                }
+                (stats, bufs)
+            });
+            record_exec(&metrics, &pool);
+            span.finish(results.iter().map(|(s, _)| s.work_units).collect());
+            for (t, (s, _)) in results.iter().enumerate() {
+                fold_kernel_stats(&metrics, t, s);
+            }
+
+            let span = metrics.phase("merge", 1);
+            let mut by_class: Vec<ClassBuf> =
+                results.into_iter().flat_map(|(_, bufs)| bufs).collect();
+            by_class.sort_by_key(|(ci, _)| *ci);
+            for (_, mut chunk) in by_class {
+                out.append(&mut chunk);
+            }
+            out.sort_by(|a, b| a.0.len().cmp(&b.0.len()).then_with(|| a.0.cmp(&b.0)));
+            span.finish_serial();
+        }
+    }
+    let stats = ParallelRunStats {
+        n_threads: p,
+        phases: metrics.take_phases(),
+        wall: run_start.elapsed(),
+        count_meters: vec![WorkMeter::default(); p],
+        metrics: metrics.snapshot(),
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TidBackend;
+    use crate::driver::mine_vertical;
+    use arm_exec::Scheduling;
+
+    fn paper_db() -> Database {
+        Database::from_transactions(
+            8,
+            [
+                vec![1u32, 4, 5],
+                vec![1, 2],
+                vec![3, 4, 5],
+                vec![1, 2, 4, 5],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn class_seeds_tile_and_balance() {
+        let w = [10u64, 1, 1, 1, 1, 10, 1, 1];
+        for p in 1..=8 {
+            let seeds = class_seeds(&w, p);
+            assert_eq!(seeds.len(), p);
+            assert_eq!(seeds[0].start, 0);
+            assert_eq!(seeds.last().unwrap().end, w.len());
+            for pair in seeds.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+        }
+        // Balanced two-way split puts the two heavy classes apart.
+        let two = class_seeds(&w, 2);
+        assert!(two[0].contains(&0) && two[1].contains(&5));
+        // More parts than classes: trailing empties.
+        let many = class_seeds(&[5u64], 4);
+        assert_eq!(many[0], 0..1);
+        assert!(many[1..].iter().all(|r| r.is_empty()));
+        assert_eq!(class_seeds(&[], 3), vec![0..0, 0..0, 0..0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_all_backends_and_modes() {
+        let db = paper_db();
+        let modes = [
+            Scheduling::Static,
+            Scheduling::Guided,
+            Scheduling::Stealing,
+            Scheduling::Chunked { chunk: 1 },
+        ];
+        for backend in [TidBackend::Auto, TidBackend::Sorted, TidBackend::Bitmap] {
+            for mode in modes {
+                let cfg = VerticalConfig::default()
+                    .with_backend(backend)
+                    .with_scheduling(mode);
+                let want = mine_vertical(&db, 2, None, &cfg);
+                for p in [1, 2, 4, 8] {
+                    let (got, stats) = mine_eclat_parallel(&db, 2, None, &cfg, p);
+                    assert_eq!(got, want, "backend={backend:?} mode={mode:?} p={p}");
+                    assert_eq!(stats.n_threads, p);
+                    assert!(stats.phases.iter().any(|ph| ph.name == "mine"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_k_edges() {
+        let db = paper_db();
+        let cfg = VerticalConfig::default();
+        let (zero, _) = mine_eclat_parallel(&db, 1, Some(0), &cfg, 4);
+        assert!(zero.is_empty());
+        let (ones, _) = mine_eclat_parallel(&db, 2, Some(1), &cfg, 4);
+        assert!(ones.iter().all(|(s, _)| s.len() == 1));
+        assert_eq!(ones.len(), 4);
+    }
+
+    #[test]
+    fn seeded_split_is_schedule_invariant() {
+        let db = paper_db();
+        let cfg = VerticalConfig::default();
+        let want = mine_vertical(&db, 2, None, &cfg);
+        // Root classes: items 1, 2, 4, 5 → 4 classes. Adversarial tiles.
+        for seeds in [
+            vec![0..4, 4..4, 4..4, 4..4],
+            vec![0..0, 0..1, 1..1, 1..4],
+            vec![0..2, 2..3, 3..4],
+        ] {
+            let (got, _) = mine_eclat_parallel_seeded(&db, 2, None, &cfg, seeds.len(), &seeds);
+            assert_eq!(got, want, "seeds={seeds:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile every first-level class")]
+    fn seeded_split_must_cover() {
+        let db = paper_db();
+        let seeds = vec![0..2, 2..3]; // misses class 3
+        mine_eclat_parallel_seeded(&db, 2, None, &VerticalConfig::default(), 2, &seeds);
+    }
+
+    #[test]
+    fn telemetry_lands_in_snapshot() {
+        let db = paper_db();
+        let (_, stats) = mine_eclat_parallel(&db, 2, None, &VerticalConfig::default(), 2);
+        if stats.metrics.enabled {
+            assert!(stats.metrics.total(Counter::TidsetIntersections) > 0);
+            assert!(stats.metrics.total(Counter::TidsetBytes) > 0);
+        }
+    }
+}

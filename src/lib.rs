@@ -17,6 +17,7 @@
 //! | [`hashtree`] | the candidate hash tree: concurrent build, placement freeze, counting |
 //! | [`core`] | sequential Apriori, candidate generation, rule generation |
 //! | [`parallel`] | CCPD and PCCD with phase/work statistics |
+//! | [`vertical`] | tidset (Eclat) mining: bitmap/list backends, parallel and hybrid drivers |
 //! | [`metrics`] | phase timers, lock/counter telemetry, `RunReport` JSON/CSV |
 //!
 //! ## Quickstart
@@ -52,6 +53,7 @@ pub use arm_mem as mem;
 pub use arm_metrics as metrics;
 pub use arm_parallel as parallel;
 pub use arm_quest as quest;
+pub use arm_vertical as vertical;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -64,4 +66,7 @@ pub mod prelude {
     pub use arm_metrics::{MetricsRegistry, MetricsSnapshot, RunReport};
     pub use arm_parallel::{ccpd, pccd, run_report, ParallelConfig, ParallelRunStats, Scheduling};
     pub use arm_quest::{generate, QuestParams};
+    pub use arm_vertical::{
+        mine_eclat_parallel, mine_hybrid, mine_vertical, TidBackend, VerticalConfig,
+    };
 }

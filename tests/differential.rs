@@ -9,6 +9,7 @@
 
 use parallel_arm::core::{mine_eclat, mine_partition, naive::mine_levelwise};
 use parallel_arm::prelude::*;
+use parallel_arm::vertical::{mine_eclat_parallel, mine_vertical};
 
 const N_SEEDS: u64 = 20;
 const FRACTION: f64 = 0.02;
@@ -61,6 +62,47 @@ fn parallel_drivers_agree_with_sequential_on_twenty_datasets() {
             assert_eq!(ccpd_r.all_itemsets(), expected, "seed {seed} CCPD P={p}");
             let (pccd_r, _) = pccd::mine(&db, &pc);
             assert_eq!(pccd_r.all_itemsets(), expected, "seed {seed} PCCD P={p}");
+        }
+    }
+}
+
+#[test]
+fn vertical_miners_agree_with_apriori_on_twenty_datasets() {
+    for seed in 0..N_SEEDS {
+        let db = dataset(seed);
+        let minsup = db.absolute_support(FRACTION);
+        let expected = parallel_arm::core::mine(&db, &cfg()).all_itemsets();
+        // Both tidset backends (and the density-adaptive default), each
+        // sequentially and on every thread count.
+        for backend in [TidBackend::Sorted, TidBackend::Bitmap, TidBackend::Auto] {
+            let vc = VerticalConfig::default().with_backend(backend);
+            let seq = mine_vertical(&db, minsup, None, &vc);
+            assert_eq!(
+                seq, expected,
+                "seed {seed}: vertical {backend:?} vs apriori"
+            );
+            for p in [1usize, 2, 4, 8] {
+                let (par, _) = mine_eclat_parallel(&db, minsup, None, &vc, p);
+                assert_eq!(par, expected, "seed {seed}: parallel {backend:?} P={p}");
+            }
+        }
+        // Unoptimized path (linear merge, static schedule, lists only).
+        let un = mine_vertical(&db, minsup, None, &VerticalConfig::unoptimized());
+        assert_eq!(un, expected, "seed {seed}: unoptimized vertical");
+    }
+}
+
+#[test]
+fn hybrid_driver_agrees_with_apriori_on_twenty_datasets() {
+    for seed in 0..N_SEEDS {
+        let db = dataset(seed);
+        let expected = parallel_arm::core::mine(&db, &cfg()).all_itemsets();
+        for switch_level in [1u32, 2, 3] {
+            for p in [1usize, 2, 4, 8] {
+                let vc = VerticalConfig::default().with_switch_level(switch_level);
+                let (got, _) = mine_hybrid(&db, &ParallelConfig::new(cfg(), p), &vc);
+                assert_eq!(got, expected, "seed {seed}: hybrid s={switch_level} P={p}");
+            }
         }
     }
 }
