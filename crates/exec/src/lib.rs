@@ -30,6 +30,7 @@
 //! also tallies per-thread telemetry ([`ExecStats`]: chunks, items, steals,
 //! CAS retries) that the drivers fold into `arm-metrics`.
 
+use arm_faults::CancelToken;
 use arm_mem::{CacheAligned, ChunkDeque};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -77,6 +78,9 @@ pub struct ExecStats {
     pub steal_attempts: u64,
     /// Failed `compare_exchange` iterations on the shared cursor.
     pub cursor_retries: u64,
+    /// Cancellation checkpoints this thread passed before claiming
+    /// (zero unless the pool carries a [`CancelToken`]).
+    pub cancel_checks: u64,
 }
 
 #[derive(Default)]
@@ -86,6 +90,7 @@ struct StatCells {
     stolen: AtomicU64,
     steal_attempts: AtomicU64,
     cursor_retries: AtomicU64,
+    cancel_checks: AtomicU64,
 }
 
 impl StatCells {
@@ -96,6 +101,7 @@ impl StatCells {
             stolen: self.stolen.load(Ordering::Relaxed),
             steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
             cursor_retries: self.cursor_retries.load(Ordering::Relaxed),
+            cancel_checks: self.cancel_checks.load(Ordering::Relaxed),
         }
     }
 }
@@ -137,6 +143,7 @@ pub struct ChunkPool {
     n_threads: usize,
     total: usize,
     stats: Vec<CacheAligned<StatCells>>,
+    cancel: Option<CancelToken>,
 }
 
 impl ChunkPool {
@@ -197,7 +204,16 @@ impl ChunkPool {
             stats: (0..n)
                 .map(|_| CacheAligned::new(StatCells::default()))
                 .collect(),
+            cancel: None,
         }
+    }
+
+    /// Attaches a cancellation token: every [`ChunkPool::next`] call
+    /// checkpoints it first and yields `None` once the token trips, so a
+    /// cancelled phase drains within one chunk claim per thread.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     fn cursor_repr(ranges: &[Range<usize>], mode: CursorMode) -> Repr {
@@ -245,7 +261,18 @@ impl ChunkPool {
     /// Claims the next chunk for thread `t`, or `None` when the pool is
     /// drained. Each seeded index is returned exactly once across all
     /// threads; under `Static` thread `t` only ever sees its own seed range.
+    ///
+    /// With a token attached ([`ChunkPool::with_cancel_token`]) the claim
+    /// checkpoints it first and returns `None` once it has tripped —
+    /// indistinguishable from a drained pool, so worker loops need no
+    /// extra cancellation logic.
     pub fn next(&self, t: usize) -> Option<Range<usize>> {
+        if let Some(token) = &self.cancel {
+            self.stats[t].cancel_checks.fetch_add(1, Ordering::Relaxed);
+            if !token.checkpoint() {
+                return None;
+            }
+        }
         let chunk = match &self.repr {
             Repr::Static { ranges, taken } => {
                 let r = ranges.get(t)?;
@@ -514,6 +541,49 @@ mod tests {
             let pool = ChunkPool::with_floor(&ranges, mode, 1);
             assert_covers(&pool, &ranges);
         }
+    }
+
+    #[test]
+    fn cancelled_pool_stops_within_one_claim_per_thread() {
+        for mode in [
+            Scheduling::Static,
+            Scheduling::Chunked { chunk: 4 },
+            Scheduling::Guided,
+            Scheduling::Stealing,
+        ] {
+            let ranges = block_ranges(1000, 4);
+            let token = CancelToken::new();
+            let pool = ChunkPool::with_floor(&ranges, mode, 8).with_cancel_token(token.clone());
+            assert!(pool.next(0).is_some(), "live token claims normally");
+            token.cancel();
+            for t in 0..4 {
+                assert_eq!(pool.next(t), None, "mode {mode:?} thread {t}");
+                assert_eq!(
+                    pool.thread_stats(t).cancel_checks,
+                    if t == 0 { 2 } else { 1 }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn check_triggered_token_drains_deterministically() {
+        let ranges = block_ranges(1000, 2);
+        let token = CancelToken::new().cancel_after_checks(3);
+        let pool = ChunkPool::with_floor(&ranges, Scheduling::Chunked { chunk: 10 }, 1)
+            .with_cancel_token(token.clone());
+        assert!(pool.next(0).is_some());
+        assert!(pool.next(1).is_some());
+        assert!(pool.next(0).is_none(), "third checkpoint trips the trigger");
+        assert_eq!(token.checks(), 3);
+    }
+
+    #[test]
+    fn pool_without_token_counts_no_checks() {
+        let ranges = block_ranges(100, 2);
+        let pool = ChunkPool::new(&ranges, Scheduling::Guided);
+        while pool.next(0).is_some() {}
+        assert_eq!(pool.thread_stats(0).cancel_checks, 0);
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Cooperative cancellation: an atomic epoch plus an optional deadline,
+//! observed by every miner at chunk granularity.
+//!
+//! The token is the one shared object of the fault layer: the caller
+//! keeps a clone, the driver threads a reference through every
+//! [`ChunkPool`](../../arm_exec) claim, and a panicking worker flips it
+//! to stop its siblings. Checks are a relaxed load on the live path, so
+//! the cost per chunk claim is a handful of cycles against work that
+//! scans at least a chunk of transactions.
+
+use crate::error::MiningError;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+
+/// How a token left the live state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelKind {
+    /// [`CancelToken::cancel`] was called (by the user or by the panic
+    /// containment in [`try_run_threads`](crate::try_run_threads)).
+    Cancelled,
+    /// The construction-time deadline passed.
+    DeadlineExceeded,
+}
+
+impl CancelKind {
+    /// Maps the kind onto the matching [`MiningError`] variant.
+    pub fn into_error(self, phase: &'static str, elapsed: Duration) -> MiningError {
+        match self {
+            CancelKind::Cancelled => MiningError::Cancelled { phase, elapsed },
+            CancelKind::DeadlineExceeded => MiningError::DeadlineExceeded { phase, elapsed },
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: AtomicU8,
+    /// Chunk-claim checkpoints observed so far (all threads).
+    checks: AtomicU64,
+    /// Checkpoint ordinal at which the token self-cancels (`u64::MAX`
+    /// = never). Lets tests cancel at a deterministic logical point.
+    trigger_at: AtomicU64,
+    /// Wall-clock deadline, fixed at construction.
+    deadline: Option<Instant>,
+}
+
+/// A cancellable run handle: atomic epoch + optional deadline.
+///
+/// Cheap to clone (all clones share state). A token is single-shot: once
+/// cancelled or past its deadline it stays that way, so it should not be
+/// reused across runs.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A live token with no deadline.
+    pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// A token whose deadline is `d` from now. Workers observe the
+    /// expiry at their next chunk claim; phase gates observe it between
+    /// phases even if no claim happens.
+    pub fn deadline_in(d: Duration) -> Self {
+        Self::build(Instant::now().checked_add(d))
+    }
+
+    fn build(deadline: Option<Instant>) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                state: AtomicU8::new(LIVE),
+                checks: AtomicU64::new(0),
+                trigger_at: AtomicU64::new(u64::MAX),
+                deadline,
+            }),
+        }
+    }
+
+    /// Arms the deterministic trigger: the `n`-th checkpoint (1-based,
+    /// counted across all threads) cancels the token. The cancellation
+    /// and chaos suites use this to stop runs at exact logical points
+    /// independent of wall clock.
+    pub fn cancel_after_checks(self, n: u64) -> Self {
+        self.inner.trigger_at.store(n.max(1), Ordering::Relaxed);
+        self
+    }
+
+    /// Cancels the token. Idempotent; a deadline expiry that already
+    /// latched wins (the run reports `DeadlineExceeded`).
+    pub fn cancel(&self) {
+        let _ = self.inner.state.compare_exchange(
+            LIVE,
+            CANCELLED,
+            Ordering::Release,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Whether the token has left the live state. A relaxed load — this
+    /// is the non-counting probe for phase gates and tests; worker-side
+    /// observation goes through [`CancelToken::checkpoint`].
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.state.load(Ordering::Acquire) != LIVE
+    }
+
+    /// Evaluates the deadline without counting a checkpoint. Phase gates
+    /// call this so a run with an expired deadline fails even if its
+    /// pools never issued a claim (e.g. an empty database).
+    pub fn poll_deadline(&self) {
+        if let Some(d) = self.inner.deadline {
+            if Instant::now() >= d {
+                let _ = self.inner.state.compare_exchange(
+                    LIVE,
+                    DEADLINE,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                );
+            }
+        }
+    }
+
+    /// The worker-side observation point, called once per chunk claim.
+    /// Counts the check, applies the deterministic trigger and the
+    /// deadline, and returns `true` while the token is live.
+    pub fn checkpoint(&self) -> bool {
+        let n = self.inner.checks.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= self.inner.trigger_at.load(Ordering::Relaxed) {
+            self.cancel();
+        }
+        self.poll_deadline();
+        !self.is_cancelled()
+    }
+
+    /// Total checkpoints observed across all threads. The cancellation
+    /// suite's latency bound: after cancellation at check `n`, at most
+    /// one further check per worker can land, so `checks() ≤ n + P`.
+    pub fn checks(&self) -> u64 {
+        self.inner.checks.load(Ordering::Relaxed)
+    }
+
+    /// How the token left the live state, if it has.
+    pub fn kind(&self) -> Option<CancelKind> {
+        match self.inner.state.load(Ordering::Acquire) {
+            CANCELLED => Some(CancelKind::Cancelled),
+            DEADLINE => Some(CancelKind::DeadlineExceeded),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_live_and_cancels_once() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.kind(), None);
+        assert!(t.checkpoint());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.kind(), Some(CancelKind::Cancelled));
+        assert!(!t.checkpoint());
+        // Clones share state.
+        let c = t.clone();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn trigger_fires_at_nth_check() {
+        let t = CancelToken::new().cancel_after_checks(3);
+        assert!(t.checkpoint());
+        assert!(t.checkpoint());
+        assert!(!t.checkpoint(), "third check trips the trigger");
+        assert_eq!(t.checks(), 3);
+        assert_eq!(t.kind(), Some(CancelKind::Cancelled));
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let t = CancelToken::deadline_in(Duration::ZERO);
+        t.poll_deadline();
+        assert_eq!(t.kind(), Some(CancelKind::DeadlineExceeded));
+        assert!(!t.checkpoint());
+        // An explicit cancel cannot overwrite the latched deadline.
+        t.cancel();
+        assert_eq!(t.kind(), Some(CancelKind::DeadlineExceeded));
+    }
+
+    #[test]
+    fn far_deadline_stays_live() {
+        let t = CancelToken::deadline_in(Duration::from_secs(3600));
+        assert!(t.checkpoint());
+        assert_eq!(t.kind(), None);
+    }
+
+    #[test]
+    fn kind_maps_to_errors() {
+        let e = CancelKind::Cancelled.into_error("count", Duration::from_millis(1));
+        assert!(matches!(e, MiningError::Cancelled { phase: "count", .. }));
+        let e = CancelKind::DeadlineExceeded.into_error("f1", Duration::ZERO);
+        assert!(matches!(
+            e,
+            MiningError::DeadlineExceeded { phase: "f1", .. }
+        ));
+    }
+}

@@ -44,7 +44,8 @@ pub use registry::{
     Counter, MetricsRegistry, MetricsSnapshot, PhaseRecord, PhaseSpan, Shard, N_COUNTERS,
 };
 pub use report::{
-    reports_from_json, reports_to_json, IterReport, LockReport, MemReport, PhaseReport, RunReport,
-    SchedReport, ThreadReport, VerticalReport, PHASE_CSV_HEADER, SCHEMA, SUMMARY_CSV_HEADER,
+    reports_from_json, reports_to_json, FaultReport, IterReport, LockReport, MemReport,
+    PhaseReport, RunReport, SchedReport, ThreadReport, VerticalReport, PHASE_CSV_HEADER, SCHEMA,
+    SUMMARY_CSV_HEADER,
 };
 pub use tally::TalliedCounters;

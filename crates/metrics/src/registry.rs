@@ -53,10 +53,14 @@ pub enum Counter {
     TidsetWordsAnded = 15,
     /// Bytes of tidset storage materialized (lists and bitmaps).
     TidsetBytes = 16,
+    /// Cancellation checkpoints passed at chunk claims (arm-faults).
+    CancelChecks = 17,
+    /// Fault-plan injections that fired during the run (arm-faults).
+    FaultsInjected = 18,
 }
 
 /// Number of distinct counters (shard slot count).
-pub const N_COUNTERS: usize = 17;
+pub const N_COUNTERS: usize = 19;
 
 impl Counter {
     /// Every counter, in slot order.
@@ -78,6 +82,8 @@ impl Counter {
         Counter::TidsetIntersections,
         Counter::TidsetWordsAnded,
         Counter::TidsetBytes,
+        Counter::CancelChecks,
+        Counter::FaultsInjected,
     ];
 
     /// The report field name.
@@ -100,6 +106,8 @@ impl Counter {
             Counter::TidsetIntersections => "tidset_intersections",
             Counter::TidsetWordsAnded => "tidset_words_anded",
             Counter::TidsetBytes => "tidset_bytes",
+            Counter::CancelChecks => "cancel_checks",
+            Counter::FaultsInjected => "faults_injected",
         }
     }
 }

@@ -106,6 +106,16 @@ pub struct VerticalReport {
     pub tidset_bytes: u64,
 }
 
+/// Fault-layer totals across threads (arm-faults cancellation and
+/// injection instrumentation).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// Cancellation checkpoints passed at chunk claims.
+    pub cancel_checks: u64,
+    /// Fault-plan injections that fired (nonzero only under chaos tests).
+    pub faults_injected: u64,
+}
+
 /// Allocator/scratch/tree memory totals.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MemReport {
@@ -165,6 +175,8 @@ pub struct RunReport {
     pub sched: SchedReport,
     /// Vertical-mining kernel totals.
     pub vertical: VerticalReport,
+    /// Fault-layer totals.
+    pub faults: FaultReport,
     /// Memory totals.
     pub mem: MemReport,
     /// Per-iteration tree/candidate profile.
@@ -247,6 +259,10 @@ impl RunReport {
             words_anded: snap.total(Counter::TidsetWordsAnded),
             tidset_bytes: snap.total(Counter::TidsetBytes),
         };
+        self.faults = FaultReport {
+            cancel_checks: snap.total(Counter::CancelChecks),
+            faults_injected: snap.total(Counter::FaultsInjected),
+        };
         self.mem = MemReport {
             tree_bytes: snap.total(Counter::TreeBytes),
             tree_nodes: snap.total(Counter::TreeNodes),
@@ -309,6 +325,13 @@ impl RunReport {
                     ("intersections".into(), int(self.vertical.intersections)),
                     ("words_anded".into(), int(self.vertical.words_anded)),
                     ("tidset_bytes".into(), int(self.vertical.tidset_bytes)),
+                ]),
+            ),
+            (
+                "faults".into(),
+                Json::Obj(vec![
+                    ("cancel_checks".into(), int(self.faults.cancel_checks)),
+                    ("faults_injected".into(), int(self.faults.faults_injected)),
                 ]),
             ),
             (
@@ -407,6 +430,13 @@ impl RunReport {
                 intersections: u64_field_or(s, "intersections", 0)?,
                 words_anded: u64_field_or(s, "words_anded", 0)?,
                 tidset_bytes: u64_field_or(s, "tidset_bytes", 0)?,
+            };
+        }
+        // "faults" postdates "vertical": absent reads as zeros too.
+        if let Some(s) = v.get("faults") {
+            r.faults = FaultReport {
+                cancel_checks: u64_field_or(s, "cancel_checks", 0)?,
+                faults_injected: u64_field_or(s, "faults_injected", 0)?,
             };
         }
         let m = v.get("mem").ok_or("missing mem")?;
@@ -650,6 +680,10 @@ mod tests {
             words_anded: 340,
             tidset_bytes: 2048,
         };
+        r.faults = FaultReport {
+            cancel_checks: 42,
+            faults_injected: 1,
+        };
         r.mem.tree_bytes = 4096;
         r.iters = vec![IterReport {
             k: 2,
@@ -785,6 +819,22 @@ mod tests {
         let text = Json::Obj(stripped).pretty();
         assert!(!text.contains("vertical"));
         let back = RunReport::from_json(&text).expect("pre-vertical report must parse");
+        assert_eq!(back, old);
+    }
+
+    #[test]
+    fn parses_reports_predating_faults_section() {
+        // Reports written before the fault layer have no "faults" section;
+        // it must read back as all-zero totals.
+        let mut old = sample();
+        old.faults = FaultReport::default();
+        let stripped: Vec<(String, Json)> = match old.to_value() {
+            Json::Obj(fields) => fields.into_iter().filter(|(k, _)| k != "faults").collect(),
+            _ => unreachable!(),
+        };
+        let text = Json::Obj(stripped).pretty();
+        assert!(!text.contains("cancel_checks"));
+        let back = RunReport::from_json(&text).expect("pre-faults report must parse");
         assert_eq!(back, old);
     }
 

@@ -4,8 +4,8 @@
 //! the parser (parse → pretty → parse is the identity).
 
 use arm_metrics::{
-    json::parse, reports_from_json, reports_to_json, IterReport, Json, LockReport, MemReport,
-    PhaseReport, RunReport, SchedReport, ThreadReport, VerticalReport,
+    json::parse, reports_from_json, reports_to_json, FaultReport, IterReport, Json, LockReport,
+    MemReport, PhaseReport, RunReport, SchedReport, ThreadReport, VerticalReport,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -57,7 +57,7 @@ proptest! {
         floats in vec(0.0f64..1.0e9, 3),
         phases in vec((0usize..NAMES.len(), 1u32..16, vec(0u64..MAX_INT, 0..5)), 0..6),
         threads in vec(vec(0u64..MAX_INT, 15), 0..5),
-        lock_mem in vec(0u64..MAX_INT, 17),
+        lock_mem in vec(0u64..MAX_INT, 19),
         iters in vec((1u32..16, vec(0u64..MAX_INT, 4)), 0..6),
         phase_floats in vec(0.0f64..1.0e6, 12),
     ) {
@@ -121,6 +121,10 @@ proptest! {
                 intersections: lock_mem[14],
                 words_anded: lock_mem[15],
                 tidset_bytes: lock_mem[16],
+            },
+            faults: FaultReport {
+                cancel_checks: lock_mem[17],
+                faults_injected: lock_mem[18],
             },
             mem: MemReport {
                 tree_bytes: lock_mem[5],

@@ -33,6 +33,7 @@ use arm_core::{
 };
 use arm_dataset::{block_ranges, weighted_ranges, weighted_ranges_for_k, Database};
 use arm_exec::ChunkPool;
+use arm_faults::{try_run_threads, CancelToken, MiningError, RunControl};
 use arm_hashtree::{
     freeze_policy, CandidateSet, CountOptions, CountScratch, CounterRef, ItemFilter, TreeBuilder,
     WorkMeter,
@@ -45,7 +46,27 @@ use std::time::Instant;
 
 /// Runs CCPD, returning the mining result (identical to the sequential
 /// algorithm's) and the run's phase statistics.
+///
+/// Infallible wrapper over [`try_mine`] with an inert [`RunControl`]: no
+/// token, no faults. A worker panic — impossible to observe through this
+/// API before the fault layer existed — is re-raised on the caller.
 pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunStats) {
+    try_mine(db, cfg, &RunControl::default()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs CCPD under a [`RunControl`]: the token is checkpointed at every
+/// chunk claim and phase boundary, worker panics are contained and
+/// returned as [`MiningError::WorkerPanicked`], and armed fault-plan
+/// sites fire at each instrumented claim (phases `f1`, `build`, `count`).
+///
+/// On `Err` every worker thread has joined and all shared state built by
+/// the run is discarded; retrying with a live control yields results
+/// bit-identical to an undisturbed run.
+pub fn try_mine(
+    db: &Database,
+    cfg: &ParallelConfig,
+    ctrl: &RunControl,
+) -> Result<(MiningResult, ParallelRunStats), MiningError> {
     let run_start = Instant::now();
     let p = cfg.n_threads.max(1);
     let min_support = cfg.base.min_support.absolute(db.len());
@@ -56,21 +77,26 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
     let span = metrics.phase("f1", 1);
     let ranges = block_ranges(db.len(), p);
     let pair_buckets = cfg.base.pair_filter_buckets;
-    let pool = ChunkPool::new(&ranges, cfg.scheduling);
-    let partials: Vec<(Vec<u32>, Option<Vec<u32>>, u64)> = run_threads(p, |t| {
-        let mut singles = vec![0u32; db.n_items() as usize];
-        let mut pairs = pair_buckets.map(|m| vec![0u32; m]);
-        let mut items = 0u64;
-        while let Some(r) = pool.next(t) {
-            items += (db.offsets()[r.end] - db.offsets()[r.start]) as u64;
-            count_singletons_into(db, r.clone(), &mut singles);
-            if let Some(table) = pairs.as_mut() {
-                count_pair_buckets_into(db, r, table);
+    let pool = ChunkPool::new(&ranges, cfg.scheduling).with_cancel_token(ctrl.cancel.clone());
+    let partials: Vec<(Vec<u32>, Option<Vec<u32>>, u64)> =
+        try_run_threads(p, "f1", &ctrl.cancel, |t| {
+            let mut singles = vec![0u32; db.n_items() as usize];
+            let mut pairs = pair_buckets.map(|m| vec![0u32; m]);
+            let mut items = 0u64;
+            let mut chunk = 0u64;
+            while let Some(r) = pool.next(t) {
+                ctrl.faults.fire("f1", t, chunk);
+                chunk += 1;
+                items += (db.offsets()[r.end] - db.offsets()[r.start]) as u64;
+                count_singletons_into(db, r.clone(), &mut singles);
+                if let Some(table) = pairs.as_mut() {
+                    count_pair_buckets_into(db, r, table);
+                }
             }
-        }
-        (singles, pairs, items)
-    });
+            (singles, pairs, items)
+        })?;
     record_exec(&metrics, &pool);
+    ctrl.gate("f1", run_start)?;
     // Work units stay what they were under the static split — items
     // actually scanned by each thread — so imbalance remains comparable
     // across scheduling modes.
@@ -124,7 +150,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         if cfg.base.max_k.is_some_and(|m| k > m) {
             break;
         }
-        let prev = levels.last().unwrap();
+        let Some(prev) = levels.last() else { break };
         if prev.len() < 2 {
             break;
         }
@@ -134,7 +160,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         let classes = equivalence_classes(prev);
         let weights: Vec<u64> = classes.iter().map(class_weight).collect();
         let (cands, candgen_work, join_pairs) = if p > 1 && prev.len() >= cfg.parallel_candgen_min {
-            parallel_candgen(prev, &classes, &weights, cfg, p)
+            parallel_candgen(prev, &classes, &weights, cfg, p, &ctrl.cancel)?
         } else {
             // Adaptive parallelism: not enough frequent itemsets to be
             // worth forking (§3.1.3).
@@ -158,6 +184,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
             cands
         };
         span.finish(candgen_work);
+        ctrl.gate("candgen", run_start)?;
         if cands.is_empty() {
             break;
         }
@@ -175,20 +202,25 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         let span = metrics.phase("build", k);
         let builder = TreeBuilder::new(&cands, &hash, cfg.base.leaf_threshold);
         let cand_ranges = block_ranges(cands.len(), p);
-        let pool = ChunkPool::new(&cand_ranges, cfg.scheduling);
-        let build_work: Vec<u64> = run_threads(p, |t| {
+        let pool =
+            ChunkPool::new(&cand_ranges, cfg.scheduling).with_cancel_token(ctrl.cancel.clone());
+        let build_work: Vec<u64> = try_run_threads(p, "build", &ctrl.cancel, |t| {
             let shard = metrics.shard(t);
             let mut inserted = 0u64;
+            let mut chunk = 0u64;
             while let Some(r) = pool.next(t) {
+                ctrl.faults.fire("build", t, chunk);
+                chunk += 1;
                 inserted += r.len() as u64;
                 for id in r {
                     builder.insert_tallied(id as u32, shard);
                 }
             }
             inserted
-        });
+        })?;
         record_exec(&metrics, &pool);
         span.finish(build_work);
+        ctrl.gate("build", run_start)?;
 
         // Freeze into the placement policy's image (serial, like the
         // paper's remap).
@@ -224,54 +256,62 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         // Dynamic modes re-chunk the very same partition the static split
         // would use, so a weighted DbPartition still seeds the deques with
         // its cost estimate and stealing only corrects the residual error.
-        let pool = ChunkPool::new(&db_ranges, cfg.scheduling);
-        let outcomes: Vec<(WorkMeter, Option<LocalCounters>)> = run_threads(p, |t| {
-            let shard = metrics.shard(t);
-            let mut pooled;
-            let mut fresh;
-            let scratch: &mut CountScratch = match &scratch_pool {
-                Some(pool) => {
-                    pooled = pool.slot(t);
-                    pooled.retarget(tree.n_nodes());
-                    shard.incr(Counter::ScratchRetargets);
-                    &mut pooled
-                }
-                None => {
-                    fresh = CountScratch::new(db.n_items(), tree.n_nodes());
-                    shard.incr(Counter::ScratchAllocs);
-                    &mut fresh
-                }
-            };
-            let mut meter = WorkMeter::default();
-            let mut local = per_thread.then(|| LocalCounters::new(cands.len()));
-            // Shared counters go through the tallying wrapper so striped
-            // increments and their CAS retries land in this thread's shard.
-            let tallied = shared.as_ref().map(|s| TalliedCounters::new(s, shard));
-            {
-                let mut cref = if inline {
-                    CounterRef::Inline
-                } else if let Some(l) = local.as_mut() {
-                    CounterRef::Local(l)
-                } else {
-                    CounterRef::Shared(tallied.as_ref().unwrap())
+        let pool =
+            ChunkPool::new(&db_ranges, cfg.scheduling).with_cancel_token(ctrl.cancel.clone());
+        let outcomes: Vec<(WorkMeter, Option<LocalCounters>)> =
+            try_run_threads(p, "count", &ctrl.cancel, |t| {
+                let shard = metrics.shard(t);
+                let mut pooled;
+                let mut fresh;
+                let scratch: &mut CountScratch = match &scratch_pool {
+                    Some(pool) => {
+                        pooled = pool.slot(t);
+                        pooled.retarget(tree.n_nodes());
+                        shard.incr(Counter::ScratchRetargets);
+                        &mut pooled
+                    }
+                    None => {
+                        fresh = CountScratch::new(db.n_items(), tree.n_nodes());
+                        shard.incr(Counter::ScratchAllocs);
+                        &mut fresh
+                    }
                 };
-                while let Some(r) = pool.next(t) {
-                    tree.count_partition(
-                        &hash,
-                        db,
-                        r,
-                        filter.as_ref(),
-                        scratch,
-                        &mut cref,
-                        opts,
-                        &mut meter,
-                    );
+                let mut meter = WorkMeter::default();
+                let mut local = per_thread.then(|| LocalCounters::new(cands.len()));
+                // Shared counters go through the tallying wrapper so striped
+                // increments and their CAS retries land in this thread's shard.
+                let tallied = shared.as_ref().map(|s| TalliedCounters::new(s, shard));
+                {
+                    let mut cref = if inline {
+                        CounterRef::Inline
+                    } else if let Some(l) = local.as_mut() {
+                        CounterRef::Local(l)
+                    } else {
+                        // `shared` is built exactly when neither inline nor
+                        // per-thread counters are selected.
+                        CounterRef::Shared(tallied.as_ref().expect("shared counters exist"))
+                    };
+                    let mut chunk = 0u64;
+                    while let Some(r) = pool.next(t) {
+                        ctrl.faults.fire("count", t, chunk);
+                        chunk += 1;
+                        tree.count_partition(
+                            &hash,
+                            db,
+                            r,
+                            filter.as_ref(),
+                            scratch,
+                            &mut cref,
+                            opts,
+                            &mut meter,
+                        );
+                    }
                 }
-            }
-            shard.add(Counter::ScratchStampBytes, scratch.stamp_bytes() as u64);
-            (meter, local)
-        });
+                shard.add(Counter::ScratchStampBytes, scratch.stamp_bytes() as u64);
+                (meter, local)
+            })?;
         record_exec(&metrics, &pool);
+        ctrl.gate("count", run_start)?;
         let meters: Vec<WorkMeter> = outcomes.iter().map(|(m, _)| *m).collect();
         let count_work: Vec<u64> = meters.iter().map(|m| m.work_units()).collect();
         for (rm, m) in run_meters.iter_mut().zip(&meters) {
@@ -284,11 +324,11 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         let final_counts: Vec<u32> = if inline {
             tree.inline_counts()
         } else if per_thread {
-            let locals: Vec<LocalCounters> =
-                outcomes.into_iter().map(|(_, l)| l.unwrap()).collect();
+            // Every worker built a local table under `per_thread`.
+            let locals: Vec<LocalCounters> = outcomes.into_iter().filter_map(|(_, l)| l).collect();
             reduce(&locals)
         } else {
-            shared.unwrap().snapshot()
+            shared.expect("shared counters exist").snapshot()
         };
         let mut fk_sets = CandidateSet::new(k);
         let mut fk_supports = Vec::new();
@@ -326,6 +366,12 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         }
     }
 
+    // Successful runs fold the fault-layer tallies into the report; runs
+    // that returned Err above discard their registry with everything else.
+    metrics
+        .shard(0)
+        .add(Counter::FaultsInjected, ctrl.faults.injected());
+
     let result = MiningResult {
         levels,
         iter_stats,
@@ -338,7 +384,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         count_meters: run_meters,
         metrics: metrics.snapshot(),
     };
-    (result, stats)
+    Ok((result, stats))
 }
 
 /// Candidate generation balanced across `p` threads at *member*
@@ -357,7 +403,8 @@ fn parallel_candgen(
     weights: &[u64],
     cfg: &ParallelConfig,
     p: usize,
-) -> (CandidateSet, Vec<u64>, u64) {
+    cancel: &CancelToken,
+) -> Result<(CandidateSet, Vec<u64>, u64), MiningError> {
     let k = prev.k() + 1;
     // Work units: (class index, member index) with triangular weights.
     let mut units: Vec<(u32, u32)> = Vec::new();
@@ -373,7 +420,7 @@ fn parallel_candgen(
 
     // Each thread generates the candidates its members initiate, keyed by
     // unit index for the deterministic lex-order merge.
-    let outputs: Vec<Vec<(usize, CandidateSet)>> = run_threads(p, |t| {
+    let outputs: Vec<Vec<(usize, CandidateSet)>> = try_run_threads(p, "candgen", cancel, |t| {
         let mut scratch = Vec::with_capacity(k as usize);
         let mut out = Vec::with_capacity(assignment.bins[t].len());
         for &u in &assignment.bins[t] {
@@ -384,7 +431,7 @@ fn parallel_candgen(
             out.push((u, set));
         }
         out
-    });
+    })?;
     // Units are (class, member) in lexicographic generation order, so
     // concatenating by unit index restores the sequential ordering.
     let mut by_unit: Vec<(usize, CandidateSet)> = outputs.into_iter().flatten().collect();
@@ -394,7 +441,7 @@ fn parallel_candgen(
         merged.extend_from(set);
     }
     let pairs = weights.iter().sum();
-    (merged, assignment.loads, pairs)
+    Ok((merged, assignment.loads, pairs))
 }
 
 /// Generates the candidates initiated by member `m` of `class` (joins
@@ -422,23 +469,19 @@ pub fn record_exec(metrics: &MetricsRegistry, pool: &ChunkPool) {
         shard.add(Counter::ChunksStolen, s.stolen);
         shard.add(Counter::StealAttempts, s.steal_attempts);
         shard.add(Counter::CursorCasRetries, s.cursor_retries);
+        shard.add(Counter::CancelChecks, s.cancel_checks);
     }
 }
 
 /// Spawns `p` scoped threads running `f(thread_id)` and collects results
 /// in thread order. With `p == 1` the closure runs on the caller's thread.
+///
+/// Infallible wrapper over [`arm_faults::try_run_threads`] with a throwaway
+/// token: a worker panic is contained, siblings still join, and the typed
+/// error is re-raised on the caller. Fallible drivers call the `try`
+/// variant directly.
 pub fn run_threads<R: Send>(p: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
-    if p == 1 {
-        return vec![f(0)];
-    }
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..p).map(|t| scope.spawn(move || f(t))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
+    try_run_threads(p, "run", &CancelToken::new(), f).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

@@ -6,10 +6,11 @@
 //! the paper measured a speed-*down* and dropped the approach; we keep it
 //! as the baseline it is (Fig. 11 commentary, DESIGN.md experiment index).
 
-use crate::ccpd::{record_exec, run_threads};
+use crate::ccpd::record_exec;
 use crate::config::ParallelConfig;
 use crate::scratch::ScratchPool;
 use crate::stats::ParallelRunStats;
+use arm_faults::{try_run_threads, MiningError, RunControl};
 use arm_metrics::{Counter, MetricsRegistry, TalliedCounters};
 
 use arm_core::{
@@ -28,7 +29,22 @@ use std::time::Instant;
 
 /// Runs PCCD, returning the mining result (identical to sequential) and
 /// phase statistics.
+///
+/// Infallible wrapper over [`try_mine`] with an inert [`RunControl`]; a
+/// contained worker panic is re-raised on the caller.
 pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunStats) {
+    try_mine(db, cfg, &RunControl::default()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs PCCD under a [`RunControl`]: cancellation is observed once per
+/// worker scan under `Static` scheduling and once per (bin, db-chunk)
+/// claim under the dynamic modes; fault-plan sites fire in phase `count`.
+/// Same `Err` guarantees as [`crate::ccpd::try_mine`].
+pub fn try_mine(
+    db: &Database,
+    cfg: &ParallelConfig,
+    ctrl: &RunControl,
+) -> Result<(MiningResult, ParallelRunStats), MiningError> {
     let run_start = Instant::now();
     let p = cfg.n_threads.max(1);
     let min_support = cfg.base.min_support.absolute(db.len());
@@ -41,6 +57,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
     let counts = count_singletons(db, 0..db.len());
     let f1 = frequent_from_counts(&counts, min_support);
     span.finish_serial();
+    ctrl.gate("f1", run_start)?;
 
     let f1_item_list = f1_items(&f1);
     // Same pooling as CCPD: one scratch per worker across all iterations.
@@ -71,7 +88,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         if cfg.base.max_k.is_some_and(|m| k > m) {
             break;
         }
-        let prev = levels.last().unwrap();
+        let Some(prev) = levels.last() else { break };
         if prev.len() < 2 {
             break;
         }
@@ -87,6 +104,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
             join_pairs += generate_class(prev, class.clone(), &mut cands, &mut scratch);
         }
         span.finish_serial();
+        ctrl.gate("candgen", run_start)?;
         if cands.is_empty() {
             break;
         }
@@ -126,7 +144,8 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
                 opts,
                 &metrics,
                 p,
-            )
+                ctrl,
+            )?
         } else {
             count_dynamic(
                 db,
@@ -138,13 +157,15 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
                 opts,
                 &metrics,
                 p,
-            )
+                ctrl,
+            )?
         };
         let count_work: Vec<u64> = meters.iter().map(|m| m.work_units()).collect();
         for (rm, m) in run_meters.iter_mut().zip(&meters) {
             rm.merge(m);
         }
         span.finish(count_work);
+        ctrl.gate("count", run_start)?;
 
         // Reduction: scatter local counts back to global candidate ids.
         let span = metrics.phase("extract", k);
@@ -190,6 +211,10 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         }
     }
 
+    metrics
+        .shard(0)
+        .add(Counter::FaultsInjected, ctrl.faults.injected());
+
     let result = MiningResult {
         levels,
         iter_stats,
@@ -202,7 +227,7 @@ pub fn mine(db: &Database, cfg: &ParallelConfig) -> (MiningResult, ParallelRunSt
         count_meters: run_meters,
         metrics: metrics.snapshot(),
     };
-    (result, stats)
+    Ok((result, stats))
 }
 
 /// Per-bin scatter-back data: the bin's global candidate ids and their
@@ -226,11 +251,12 @@ fn count_static(
     opts: CountOptions,
     metrics: &MetricsRegistry,
     p: usize,
-) -> (BinCounts, Vec<WorkMeter>, usize, u32) {
+    ctrl: &RunControl,
+) -> Result<(BinCounts, Vec<WorkMeter>, usize, u32), MiningError> {
     let k = cands.k();
     // (global candidate ids, their counts, meter, tree bytes, tree nodes)
     type ThreadOutcome = (Vec<u32>, Vec<u32>, WorkMeter, usize, u32);
-    let outcomes: Vec<ThreadOutcome> = run_threads(p, |t| {
+    let outcomes: Vec<ThreadOutcome> = try_run_threads(p, "count", &ctrl.cancel, |t| {
         let shard = metrics.shard(t);
         let ids = &bins[t]; // sorted → lexicographic subset
         let mut local_set = CandidateSet::new(k);
@@ -238,7 +264,12 @@ fn count_static(
             local_set.push(cands.get(id as u32));
         }
         let mut meter = WorkMeter::default();
-        if local_set.is_empty() {
+        // The static formulation is one indivisible full-database scan per
+        // thread, so this single checkpoint is its whole cancellation
+        // surface — the latency bound counts it as one claim. The caller's
+        // phase gate discards the empty partial on cancellation.
+        ctrl.faults.fire("count", t, 0);
+        if local_set.is_empty() || !ctrl.cancel.checkpoint() {
             return (Vec::new(), Vec::new(), meter, 0, 0);
         }
         // Local trees are private, so lock telemetry here records the
@@ -309,7 +340,7 @@ fn count_static(
             tree.total_bytes(),
             tree.n_nodes(),
         )
-    });
+    })?;
     let mut bin_counts = Vec::with_capacity(p);
     let mut meters = Vec::with_capacity(p);
     let mut tree_bytes = 0usize;
@@ -320,7 +351,7 @@ fn count_static(
         tree_bytes += tb;
         tree_nodes += tn;
     }
-    (bin_counts, meters, tree_bytes, tree_nodes)
+    Ok((bin_counts, meters, tree_bytes, tree_nodes))
 }
 
 /// One bin's shared state for the dynamic count: the frozen local tree,
@@ -357,10 +388,11 @@ fn count_dynamic(
     opts: CountOptions,
     metrics: &MetricsRegistry,
     p: usize,
-) -> (BinCounts, Vec<WorkMeter>, usize, u32) {
+    ctrl: &RunControl,
+) -> Result<(BinCounts, Vec<WorkMeter>, usize, u32), MiningError> {
     let k = cands.k();
     // Bin `t`'s tree is built by thread `t`, exactly as in the static path.
-    let bin_trees: Vec<Option<BinTree>> = run_threads(p, |t| {
+    let bin_trees: Vec<Option<BinTree>> = try_run_threads(p, "count", &ctrl.cancel, |t| {
         let shard = metrics.shard(t);
         let ids = &bins[t];
         let mut local_set = CandidateSet::new(k);
@@ -386,7 +418,7 @@ fn count_dynamic(
             ids: ids.iter().map(|&i| i as u32).collect(),
             shared,
         })
-    });
+    })?;
 
     // Unit space: bin b × database chunk c, flattened as b·n_chunks + c.
     // Chunks never cross a seed boundary, so every claimed range lies in
@@ -394,8 +426,9 @@ fn count_dynamic(
     let n_chunks = db.len().min(4 * p).max(1);
     let db_chunks = block_ranges(db.len(), n_chunks);
     let seeds: Vec<Range<usize>> = (0..p).map(|t| t * n_chunks..(t + 1) * n_chunks).collect();
-    let pool = ChunkPool::with_floor(&seeds, cfg.scheduling, 1);
-    let meters: Vec<WorkMeter> = run_threads(p, |t| {
+    let pool =
+        ChunkPool::with_floor(&seeds, cfg.scheduling, 1).with_cancel_token(ctrl.cancel.clone());
+    let meters: Vec<WorkMeter> = try_run_threads(p, "count", &ctrl.cancel, |t| {
         let shard = metrics.shard(t);
         let mut meter = WorkMeter::default();
         let mut pooled;
@@ -412,7 +445,10 @@ fn count_dynamic(
             }
         };
         let mut cur_bin = usize::MAX;
+        let mut claim = 0u64;
         while let Some(units) = pool.next(t) {
+            ctrl.faults.fire("count", t, claim);
+            claim += 1;
             for u in units {
                 let (bin, chunk) = (u / n_chunks, u % n_chunks);
                 let Some(bt) = &bin_trees[bin] else { continue };
@@ -441,7 +477,7 @@ fn count_dynamic(
         }
         shard.add(Counter::ScratchStampBytes, scratch.stamp_bytes() as u64);
         meter
-    });
+    })?;
     record_exec(metrics, &pool);
 
     let mut bin_counts = Vec::with_capacity(p);
@@ -461,7 +497,7 @@ fn count_dynamic(
             }
         }
     }
-    (bin_counts, meters, tree_bytes, tree_nodes)
+    Ok((bin_counts, meters, tree_bytes, tree_nodes))
 }
 
 #[cfg(test)]

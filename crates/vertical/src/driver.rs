@@ -11,7 +11,7 @@
 use crate::config::VerticalConfig;
 use crate::tidset::{Backend, KernelStats, TidSet};
 use arm_dataset::{partition::block_ranges, Database, Item, Tid};
-use arm_parallel::run_threads;
+use arm_faults::{try_run_threads, MiningError, RunControl};
 
 /// One mined itemset with its support — the element type of every
 /// miner's output buffer.
@@ -40,11 +40,28 @@ pub(crate) fn n_words_for(n_txns: usize) -> usize {
 /// stays sorted. Returns the lists and the per-thread work tally
 /// (items visited).
 pub(crate) fn transpose(db: &Database, p: usize) -> (Vec<Vec<Tid>>, Vec<u64>) {
+    try_transpose(db, p, &RunControl::default()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`transpose`]: each worker checkpoints the control's token
+/// once before scanning its block (the block is one indivisible unit of
+/// transposition work) and fires fault-plan sites in phase `transpose`.
+/// A cancelled run's partial lists are discarded by the caller's phase
+/// gate, never merged into results.
+pub(crate) fn try_transpose(
+    db: &Database,
+    p: usize,
+    ctrl: &RunControl,
+) -> Result<(Vec<Vec<Tid>>, Vec<u64>), MiningError> {
     let p = p.max(1);
     let ranges = block_ranges(db.len(), p);
-    let partials: Vec<(Vec<Vec<Tid>>, u64)> = run_threads(p, |t| {
+    let partials: Vec<(Vec<Vec<Tid>>, u64)> = try_run_threads(p, "transpose", &ctrl.cancel, |t| {
+        ctrl.faults.fire("transpose", t, 0);
         let mut lists: Vec<Vec<Tid>> = vec![Vec::new(); db.n_items() as usize];
         let mut visited = 0u64;
+        if !ctrl.cancel.checkpoint() {
+            return (lists, visited);
+        }
         for tid in ranges[t].clone() {
             let txn = db.transaction(tid);
             visited += txn.len() as u64;
@@ -53,7 +70,7 @@ pub(crate) fn transpose(db: &Database, p: usize) -> (Vec<Vec<Tid>>, Vec<u64>) {
             }
         }
         (lists, visited)
-    });
+    })?;
     let work: Vec<u64> = partials.iter().map(|(_, w)| *w).collect();
     let mut merged: Vec<Vec<Tid>> = vec![Vec::new(); db.n_items() as usize];
     for (lists, _) in partials {
@@ -65,7 +82,7 @@ pub(crate) fn transpose(db: &Database, p: usize) -> (Vec<Vec<Tid>>, Vec<u64>) {
             }
         }
     }
-    (merged, work)
+    Ok((merged, work))
 }
 
 /// Filters the transposed lists down to the frequent singletons — the

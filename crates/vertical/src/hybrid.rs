@@ -17,15 +17,16 @@
 //! the child classes.
 
 use crate::config::VerticalConfig;
-use crate::driver::{convert_members, extend_one, n_words_for, transpose, ClassBuf, Member};
-use crate::parallel::{class_seeds, fold_kernel_stats};
+use crate::driver::{convert_members, extend_one, n_words_for, try_transpose, ClassBuf, Member};
+use crate::parallel::{class_seeds, fold_kernel_stats, TryMineOutcome};
 use crate::tidset::{intersect_sorted, KernelStats, TidSet};
 use arm_core::{equivalence_classes, FrequentLevel};
 use arm_dataset::{Database, Item, Tid};
 use arm_exec::ChunkPool;
+use arm_faults::{try_run_threads, RunControl};
 use arm_hashtree::WorkMeter;
-use arm_metrics::{MetricsRegistry, MetricsSnapshot, N_COUNTERS};
-use arm_parallel::{ccpd, record_exec, run_threads, ParallelConfig, ParallelRunStats};
+use arm_metrics::{Counter, MetricsRegistry, MetricsSnapshot, N_COUNTERS};
+use arm_parallel::{ccpd, record_exec, ParallelConfig, ParallelRunStats};
 use std::ops::Range;
 use std::time::Instant;
 
@@ -121,11 +122,25 @@ pub fn mine_hybrid(
     pcfg: &ParallelConfig,
     vcfg: &VerticalConfig,
 ) -> (Vec<(Vec<Item>, u32)>, ParallelRunStats) {
+    try_mine_hybrid(db, pcfg, vcfg, &RunControl::default()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`mine_hybrid`]: the horizontal stage inherits the control
+/// through [`ccpd::try_mine`] (so its f1/build/count phases observe
+/// cancellation and fault sites), and the vertical stage checkpoints on
+/// every class-pool claim plus gates after `transpose` and `mine`. A run
+/// that returns `Err` discards both regimes' partial results.
+pub fn try_mine_hybrid(
+    db: &Database,
+    pcfg: &ParallelConfig,
+    vcfg: &VerticalConfig,
+    ctrl: &RunControl,
+) -> TryMineOutcome {
     let run_start = Instant::now();
     let p = pcfg.n_threads.max(1);
     let user_max = pcfg.base.max_k;
     if user_max == Some(0) {
-        return (
+        return Ok((
             Vec::new(),
             ParallelRunStats {
                 n_threads: p,
@@ -134,35 +149,42 @@ pub fn mine_hybrid(
                 count_meters: vec![WorkMeter::default(); p],
                 metrics: MetricsSnapshot::default(),
             },
-        );
+        ));
     }
     let s = vcfg.switch_level.max(1);
     if user_max.is_some_and(|m| m <= s) {
         // The cap never reaches the vertical regime: plain CCPD.
-        let (res, mut stats) = ccpd::mine(db, pcfg);
+        let (res, mut stats) = ccpd::try_mine(db, pcfg, ctrl)?;
         stats.wall = run_start.elapsed();
-        return (res.all_itemsets(), stats);
+        return Ok((res.all_itemsets(), stats));
     }
     let mut capped = pcfg.clone();
     capped.base.max_k = Some(s);
-    let (res, ccpd_stats) = ccpd::mine(db, &capped);
+    let (res, ccpd_stats) = ccpd::try_mine(db, &capped, ctrl)?;
+    // Faults fired so far were already tallied into the CCPD registry;
+    // only the vertical stage's delta goes into ours (the snapshots merge).
+    let injected_at_switch = ctrl.faults.injected();
     let mut out = res.all_itemsets();
-    if res.max_k() < s {
-        // The frontier died before the switch level; by downward closure
-        // nothing deeper exists either.
-        let mut stats = ccpd_stats;
-        stats.wall = run_start.elapsed();
-        return (out, stats);
-    }
-    let fs = res.levels.last().expect("max_k() >= s implies levels");
+    let frontier = res.levels.last();
+    let fs = match frontier {
+        Some(level) if res.max_k() >= s => level,
+        _ => {
+            // The frontier died before the switch level; by downward
+            // closure nothing deeper exists either.
+            let mut stats = ccpd_stats;
+            stats.wall = run_start.elapsed();
+            return Ok((out, stats));
+        }
+    };
     debug_assert_eq!(fs.k(), s);
 
     let metrics = MetricsRegistry::new(p);
     let min_support = res.min_support.max(1);
 
     let span = metrics.phase("transpose", s + 1);
-    let (tidlists, transpose_work) = transpose(db, p);
+    let (tidlists, transpose_work) = try_transpose(db, p, ctrl)?;
     span.finish(transpose_work);
+    ctrl.gate("transpose", run_start)?;
 
     let span = metrics.phase("classes", s + 1);
     let classes = equivalence_classes(fs);
@@ -173,37 +195,43 @@ pub fn mine_hybrid(
     let seeds = class_seeds(&weights, p);
     span.finish_serial();
 
-    let pool = ChunkPool::with_floor(&seeds, vcfg.scheduling, 1);
+    let pool =
+        ChunkPool::with_floor(&seeds, vcfg.scheduling, 1).with_cancel_token(ctrl.cancel.clone());
     let span = metrics.phase("mine", s + 1);
     let tidlists_ref = &tidlists;
     let classes_ref = &classes;
-    let results: Vec<(KernelStats, Vec<ClassBuf>)> = run_threads(p, |t| {
-        let mut stats = KernelStats::default();
-        let mut bufs = Vec::new();
-        while let Some(range) = pool.next(t) {
-            for ci in range {
-                let mut class_out = Vec::new();
-                mine_deep_class(
-                    fs,
-                    classes_ref[ci].clone(),
-                    tidlists_ref,
-                    db.len(),
-                    min_support,
-                    user_max,
-                    vcfg,
-                    &mut stats,
-                    &mut class_out,
-                );
-                bufs.push((ci, class_out));
+    let results: Vec<(KernelStats, Vec<ClassBuf>)> =
+        try_run_threads(p, "mine", &ctrl.cancel, |t| {
+            let mut stats = KernelStats::default();
+            let mut bufs = Vec::new();
+            let mut claim = 0u64;
+            while let Some(range) = pool.next(t) {
+                ctrl.faults.fire("mine", t, claim);
+                claim += 1;
+                for ci in range {
+                    let mut class_out = Vec::new();
+                    mine_deep_class(
+                        fs,
+                        classes_ref[ci].clone(),
+                        tidlists_ref,
+                        db.len(),
+                        min_support,
+                        user_max,
+                        vcfg,
+                        &mut stats,
+                        &mut class_out,
+                    );
+                    bufs.push((ci, class_out));
+                }
             }
-        }
-        (stats, bufs)
-    });
+            (stats, bufs)
+        })?;
     record_exec(&metrics, &pool);
     span.finish(results.iter().map(|(st, _)| st.work_units).collect());
     for (t, (st, _)) in results.iter().enumerate() {
         fold_kernel_stats(&metrics, t, st);
     }
+    ctrl.gate("mine", run_start)?;
 
     let span = metrics.phase("merge", s + 1);
     let mut by_class: Vec<ClassBuf> = results.into_iter().flat_map(|(_, bufs)| bufs).collect();
@@ -214,6 +242,10 @@ pub fn mine_hybrid(
     out.sort_by(|a, b| a.0.len().cmp(&b.0.len()).then_with(|| a.0.cmp(&b.0)));
     span.finish_serial();
 
+    metrics.shard(0).add(
+        Counter::FaultsInjected,
+        ctrl.faults.injected() - injected_at_switch,
+    );
     let mut phases = ccpd_stats.phases;
     phases.extend(metrics.take_phases());
     let stats = ParallelRunStats {
@@ -223,7 +255,7 @@ pub fn mine_hybrid(
         count_meters: ccpd_stats.count_meters,
         metrics: merge_snapshots(&ccpd_stats.metrics, &metrics.snapshot()),
     };
-    (out, stats)
+    Ok((out, stats))
 }
 
 #[cfg(test)]

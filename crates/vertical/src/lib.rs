@@ -39,10 +39,14 @@ pub mod hybrid;
 pub mod parallel;
 pub mod tidset;
 
+pub use arm_faults::{CancelToken, FaultKind, FaultPlan, MiningError, RunControl};
 pub use config::{TidBackend, VerticalConfig};
 pub use driver::{mine_vertical, mine_vertical_stats};
-pub use hybrid::mine_hybrid;
-pub use parallel::{class_seeds, mine_eclat_parallel, mine_eclat_parallel_seeded};
+pub use hybrid::{mine_hybrid, try_mine_hybrid};
+pub use parallel::{
+    class_seeds, mine_eclat_parallel, mine_eclat_parallel_seeded, try_mine_eclat_parallel,
+    TryMineOutcome,
+};
 pub use tidset::{
     and_words, intersect_galloping, intersect_linear, intersect_sorted, Backend, KernelStats,
     TidSet,

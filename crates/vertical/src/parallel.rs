@@ -16,15 +16,22 @@
 //! stealing) re-balance mis-estimates at run time.
 
 use crate::config::VerticalConfig;
-use crate::driver::{build_root, convert_members, extend_one, n_words_for, transpose, ClassBuf};
+use crate::driver::{
+    build_root, convert_members, extend_one, n_words_for, try_transpose, ClassBuf,
+};
 use crate::tidset::KernelStats;
 use arm_dataset::{Database, Item};
 use arm_exec::ChunkPool;
+use arm_faults::{try_run_threads, MiningError, RunControl};
 use arm_hashtree::WorkMeter;
 use arm_metrics::{Counter, MetricsRegistry};
-use arm_parallel::{record_exec, run_threads, ParallelRunStats};
+use arm_parallel::{record_exec, ParallelRunStats};
 use std::ops::Range;
 use std::time::Instant;
+
+/// What every fallible driver in this crate produces: the canonical
+/// itemset list plus run stats, or the error that ended the run.
+pub type TryMineOutcome = Result<(Vec<(Vec<Item>, u32)>, ParallelRunStats), MiningError>;
 
 /// Greedy contiguous split of class indices into `p` ranges of roughly
 /// equal total weight — the pool's seed ranges. Exported for tests that
@@ -63,7 +70,31 @@ pub fn mine_eclat_parallel(
     cfg: &VerticalConfig,
     n_threads: usize,
 ) -> (Vec<(Vec<Item>, u32)>, ParallelRunStats) {
-    mine_parallel_impl(db, min_support, max_k, cfg, n_threads, None)
+    mine_parallel_impl(
+        db,
+        min_support,
+        max_k,
+        cfg,
+        n_threads,
+        None,
+        &RunControl::default(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`mine_eclat_parallel`] under a [`RunControl`]: cancellation is
+/// observed per transpose block and per class-range claim, worker panics
+/// return as [`MiningError::WorkerPanicked`], and fault-plan sites fire
+/// in phases `transpose` and `mine`.
+pub fn try_mine_eclat_parallel(
+    db: &Database,
+    min_support: u32,
+    max_k: Option<u32>,
+    cfg: &VerticalConfig,
+    n_threads: usize,
+    ctrl: &RunControl,
+) -> TryMineOutcome {
+    mine_parallel_impl(db, min_support, max_k, cfg, n_threads, None, ctrl)
 }
 
 /// [`mine_eclat_parallel`] with caller-provided seed ranges over the
@@ -78,7 +109,16 @@ pub fn mine_eclat_parallel_seeded(
     n_threads: usize,
     seeds: &[Range<usize>],
 ) -> (Vec<(Vec<Item>, u32)>, ParallelRunStats) {
-    mine_parallel_impl(db, min_support, max_k, cfg, n_threads, Some(seeds))
+    mine_parallel_impl(
+        db,
+        min_support,
+        max_k,
+        cfg,
+        n_threads,
+        Some(seeds),
+        &RunControl::default(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Folds one task-local [`KernelStats`] into thread `t`'s metrics shard.
@@ -89,6 +129,7 @@ pub(crate) fn fold_kernel_stats(metrics: &MetricsRegistry, t: usize, s: &KernelS
     shard.add(Counter::TidsetBytes, s.tidset_bytes);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn mine_parallel_impl(
     db: &Database,
     min_support: u32,
@@ -96,7 +137,8 @@ fn mine_parallel_impl(
     cfg: &VerticalConfig,
     n_threads: usize,
     seeds: Option<&[Range<usize>]>,
-) -> (Vec<(Vec<Item>, u32)>, ParallelRunStats) {
+    ctrl: &RunControl,
+) -> TryMineOutcome {
     let run_start = Instant::now();
     let p = n_threads.max(1);
     let metrics = MetricsRegistry::new(p);
@@ -105,8 +147,9 @@ fn mine_parallel_impl(
         let min_support = min_support.max(1);
 
         let span = metrics.phase("transpose", 1);
-        let (tidlists, transpose_work) = transpose(db, p);
+        let (tidlists, transpose_work) = try_transpose(db, p, ctrl)?;
         span.finish(transpose_work);
+        ctrl.gate("transpose", run_start)?;
 
         // Root class, weights, and the class-level backend choice are
         // cheap and serial (one pass over the frequent singletons).
@@ -133,6 +176,7 @@ fn mine_parallel_impl(
         }
         span.finish_serial();
         fold_kernel_stats(&metrics, 0, &root_stats);
+        ctrl.gate("classes", run_start)?;
 
         if run_deep {
             let owned_seeds;
@@ -156,37 +200,43 @@ fn mine_parallel_impl(
             // Floor 1: a class is already a coarse task, so chunks must
             // be allowed to shrink to single classes for stealing to
             // help on skewed weight distributions.
-            let pool = ChunkPool::with_floor(seed_ranges, cfg.scheduling, 1);
+            let pool = ChunkPool::with_floor(seed_ranges, cfg.scheduling, 1)
+                .with_cancel_token(ctrl.cancel.clone());
             let span = metrics.phase("mine", 1);
             let root_ref = &root;
-            let results: Vec<(KernelStats, Vec<ClassBuf>)> = run_threads(p, |t| {
-                let mut stats = KernelStats::default();
-                let mut bufs = Vec::new();
-                while let Some(range) = pool.next(t) {
-                    for ci in range {
-                        let mut class_out = Vec::new();
-                        let mut prefix = Vec::new();
-                        extend_one(
-                            root_ref,
-                            ci,
-                            &mut prefix,
-                            min_support,
-                            max_k,
-                            cfg,
-                            db.len(),
-                            &mut stats,
-                            &mut class_out,
-                        );
-                        bufs.push((ci, class_out));
+            let results: Vec<(KernelStats, Vec<ClassBuf>)> =
+                try_run_threads(p, "mine", &ctrl.cancel, |t| {
+                    let mut stats = KernelStats::default();
+                    let mut bufs = Vec::new();
+                    let mut claim = 0u64;
+                    while let Some(range) = pool.next(t) {
+                        ctrl.faults.fire("mine", t, claim);
+                        claim += 1;
+                        for ci in range {
+                            let mut class_out = Vec::new();
+                            let mut prefix = Vec::new();
+                            extend_one(
+                                root_ref,
+                                ci,
+                                &mut prefix,
+                                min_support,
+                                max_k,
+                                cfg,
+                                db.len(),
+                                &mut stats,
+                                &mut class_out,
+                            );
+                            bufs.push((ci, class_out));
+                        }
                     }
-                }
-                (stats, bufs)
-            });
+                    (stats, bufs)
+                })?;
             record_exec(&metrics, &pool);
             span.finish(results.iter().map(|(s, _)| s.work_units).collect());
             for (t, (s, _)) in results.iter().enumerate() {
                 fold_kernel_stats(&metrics, t, s);
             }
+            ctrl.gate("mine", run_start)?;
 
             let span = metrics.phase("merge", 1);
             let mut by_class: Vec<ClassBuf> =
@@ -199,6 +249,9 @@ fn mine_parallel_impl(
             span.finish_serial();
         }
     }
+    metrics
+        .shard(0)
+        .add(Counter::FaultsInjected, ctrl.faults.injected());
     let stats = ParallelRunStats {
         n_threads: p,
         phases: metrics.take_phases(),
@@ -206,7 +259,7 @@ fn mine_parallel_impl(
         count_meters: vec![WorkMeter::default(); p],
         metrics: metrics.snapshot(),
     };
-    (out, stats)
+    Ok((out, stats))
 }
 
 #[cfg(test)]

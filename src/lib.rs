@@ -18,6 +18,7 @@
 //! | [`core`] | sequential Apriori, candidate generation, rule generation |
 //! | [`parallel`] | CCPD and PCCD with phase/work statistics |
 //! | [`vertical`] | tidset (Eclat) mining: bitmap/list backends, parallel and hybrid drivers |
+//! | [`faults`] | cancellation tokens, deadline/fault injection, panic-contained `try_mine_*` errors |
 //! | [`metrics`] | phase timers, lock/counter telemetry, `RunReport` JSON/CSV |
 //!
 //! ## Quickstart
@@ -48,6 +49,7 @@ pub use arm_balance as balance;
 pub use arm_core as core;
 pub use arm_dataset as dataset;
 pub use arm_exec as exec;
+pub use arm_faults as faults;
 pub use arm_hashtree as hashtree;
 pub use arm_mem as mem;
 pub use arm_metrics as metrics;
@@ -62,11 +64,13 @@ pub mod prelude {
         generate_rules, mine, AprioriConfig, HashScheme, MiningResult, Rule, Support,
     };
     pub use arm_dataset::{Database, DatabaseBuilder, DatasetStats};
+    pub use arm_faults::{CancelToken, FaultKind, FaultPlan, MiningError, RunControl};
     pub use arm_hashtree::PlacementPolicy;
     pub use arm_metrics::{MetricsRegistry, MetricsSnapshot, RunReport};
     pub use arm_parallel::{ccpd, pccd, run_report, ParallelConfig, ParallelRunStats, Scheduling};
     pub use arm_quest::{generate, QuestParams};
     pub use arm_vertical::{
-        mine_eclat_parallel, mine_hybrid, mine_vertical, TidBackend, VerticalConfig,
+        mine_eclat_parallel, mine_hybrid, mine_vertical, try_mine_eclat_parallel, try_mine_hybrid,
+        TidBackend, VerticalConfig,
     };
 }
